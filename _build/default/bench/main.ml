@@ -1,0 +1,241 @@
+(* Benchmark harness: regenerates every table of the paper (Tables 1-7;
+   the two figures are the s27 schematic — embedded — and the d(g)
+   illustration implemented by Pdf_paths.Distance) and then runs one
+   Bechamel micro-benchmark per table, measuring that table's core
+   computational kernel.
+
+   Scale selection: PDF_SCALE=paper uses the paper's constants
+   (N_P = 10000, N_P0 = 1000); the default "small" scale divides both by
+   five so the suite completes in minutes.  PDF_SEED overrides the seed. *)
+
+module Experiments = Pdf_experiments
+module Runner = Experiments.Runner
+module Tables = Experiments.Tables
+module Workload = Experiments.Workload
+module Profiles = Pdf_synth.Profiles
+
+let scale =
+  match Sys.getenv_opt "PDF_SCALE" with
+  | Some label -> (
+    match Workload.of_label label with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "unknown PDF_SCALE %S (use small|paper)\n" label;
+      exit 2)
+  | None -> Workload.small
+
+let seed =
+  match Sys.getenv_opt "PDF_SEED" with
+  | Some s -> int_of_string s
+  | None -> Workload.default_seed
+
+let hr title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let () =
+  Printf.printf
+    "Test enrichment for path delay faults - table regeneration\n\
+     scale=%s (N_P=%d, N_P0=%d) seed=%d\n"
+    scale.Workload.label scale.Workload.n_p scale.Workload.n_p0 seed
+
+let () =
+  hr "Table 1 / Figure 1 (s27 walkthrough)";
+  print_string (Tables.table1 ());
+  hr "Table 2 (path-length histogram)";
+  print_string (Tables.table2 scale)
+
+(* One full experiment run per circuit feeds Tables 3-7. *)
+let table_runs =
+  List.map
+    (fun profile ->
+      Printf.printf "running %s...\n%!" profile.Profiles.name;
+      Runner.run ~seed scale profile)
+    Profiles.table_rows
+
+let star_runs =
+  List.map
+    (fun profile ->
+      Printf.printf "running %s...\n%!" profile.Profiles.name;
+      Runner.run ~seed ~with_basics:false scale profile)
+    Profiles.star_rows
+
+let () =
+  hr "Table 3 (P0 detected, basic procedure)";
+  print_string (Tables.table3 table_runs);
+  hr "Table 4 (test counts, basic procedure)";
+  print_string (Tables.table4 table_runs);
+  hr "Table 5 (accidental detection of P0 u P1)";
+  print_string (Tables.table5 table_runs);
+  hr "Table 6 (test enrichment)";
+  print_string (Tables.table6 (table_runs @ star_runs));
+  hr "Table 7 (run-time ratios)";
+  print_string (Tables.table7 table_runs);
+  hr "Paper reference values";
+  print_string (Tables.paper_reference ())
+
+(* Ablations beyond the paper (DESIGN.md section 5, EXPERIMENTS.md). *)
+let profile name =
+  match Profiles.find name with Some p -> p | None -> assert false
+
+let () =
+  let module Ablations = Experiments.Ablations in
+  hr "E1 (delay-estimation error: the paper's motivation)";
+  print_string
+    (Ablations.estimation_error ~seed scale ~noises:[ 20; 50 ]
+       [ profile "s641"; profile "b09" ]);
+  hr "E2 (two vs three target sets)";
+  print_string (Ablations.multiset ~seed scale [ profile "s641" ]);
+  hr "E3 (static compaction on top)";
+  print_string
+    (Ablations.static_compaction ~seed scale [ profile "b03"; profile "b09" ]);
+  hr "E4 (robust vs non-robust sensitization)";
+  print_string
+    (Ablations.criterion ~seed scale [ profile "b09"; profile "s1196" ]);
+  hr "E5 (simulation-based vs branch-and-bound justification)";
+  print_string
+    (Ablations.justifier ~seed scale [ profile "b09"; profile "s1196" ]);
+  hr "E6 (sweeping the N_P0 effort knob)";
+  print_string
+    (Ablations.scaling ~seed scale ~n_p0s:[ 100; 200; 400 ] (profile "b09"))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table, measuring the    *)
+(* kernel that dominates the table's regeneration.                      *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+type setup = {
+  s27 : Pdf_circuit.Circuit.t;
+  big : Pdf_circuit.Circuit.t;
+  target_sets : Pdf_faults.Target_sets.t;
+  faults : Pdf_core.Fault_sim.prepared array;
+  engine : Pdf_core.Justify.t;
+  rng : Pdf_util.Rng.t;
+  test : Pdf_core.Test_pair.t;
+}
+
+let bench_setup =
+  lazy
+    (let s27 = Pdf_synth.Iscas.s27 () in
+     let profile =
+       match Profiles.find "s953" with Some p -> p | None -> assert false
+     in
+     let big = Profiles.circuit profile in
+     let model = Pdf_paths.Delay_model.lines big in
+     let target_sets =
+       Pdf_faults.Target_sets.build big model ~n_p:400 ~n_p0:50
+     in
+     let faults =
+       Pdf_core.Fault_sim.prepare big target_sets.Pdf_faults.Target_sets.p
+     in
+     let engine = Pdf_core.Justify.create big in
+     let rng = Pdf_util.Rng.create 99 in
+     let test =
+       match
+         Pdf_core.Justify.run engine ~rng
+           ~reqs:faults.(0).Pdf_core.Fault_sim.reqs
+       with
+       | Some t -> t
+       | None ->
+         Pdf_core.Test_pair.create
+           (Array.make big.Pdf_circuit.Circuit.num_pis false)
+           (Array.make big.Pdf_circuit.Circuit.num_pis false)
+     in
+     { s27; big; target_sets; faults; engine; rng; test })
+
+(* Table 4 kernel: one value-based secondary scan step — merge every
+   candidate's conditions against an accumulated requirement set. *)
+let delta_scan setup =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun (net, req) -> Hashtbl.replace acc net req)
+    setup.faults.(0).Pdf_core.Fault_sim.reqs;
+  Array.fold_left
+    (fun count (p : Pdf_core.Fault_sim.prepared) ->
+      let compatible =
+        List.for_all
+          (fun (net, req) ->
+            match Hashtbl.find_opt acc net with
+            | None -> true
+            | Some cur -> Option.is_some (Pdf_values.Req.merge cur req))
+          p.Pdf_core.Fault_sim.reqs
+      in
+      if compatible then count + 1 else count)
+    0 setup.faults
+
+let tests =
+  let s = bench_setup in
+  Test.make_grouped ~name:"tables"
+    [
+      (* Table 1: bounded enumeration on s27. *)
+      Test.make ~name:"t1_enumerate_s27"
+        (Staged.stage (fun () ->
+             let setup = Lazy.force s in
+             let model = Pdf_paths.Delay_model.lines setup.s27 in
+             Pdf_paths.Enumerate.enumerate ~mode:Pdf_paths.Enumerate.Simple
+               setup.s27 model ~max_paths:20));
+      (* Table 2: histogram construction over P. *)
+      Test.make ~name:"t2_histogram"
+        (Staged.stage (fun () ->
+             let setup = Lazy.force s in
+             Pdf_paths.Histogram.of_lengths
+               (List.map
+                  (fun (e : Pdf_faults.Target_sets.entry) ->
+                    e.Pdf_faults.Target_sets.length)
+                  setup.target_sets.Pdf_faults.Target_sets.p)));
+      (* Table 3: a single-fault justification (the basic ATPG kernel). *)
+      Test.make ~name:"t3_justify_one_fault"
+        (Staged.stage (fun () ->
+             let setup = Lazy.force s in
+             Pdf_core.Justify.run setup.engine ~rng:setup.rng
+               ~reqs:setup.faults.(0).Pdf_core.Fault_sim.reqs));
+      (* Table 4: value-based Delta scan over all candidates. *)
+      Test.make ~name:"t4_value_based_delta"
+        (Staged.stage (fun () -> delta_scan (Lazy.force s)));
+      (* Table 5: robust fault simulation of one test over P. *)
+      Test.make ~name:"t5_fault_sim_one_test"
+        (Staged.stage (fun () ->
+             let setup = Lazy.force s in
+             Pdf_core.Fault_sim.detected_by_test setup.big setup.test
+               setup.faults));
+      (* Table 6: two-pattern simulation (the enrichment inner loop). *)
+      Test.make ~name:"t6_two_pattern_sim"
+        (Staged.stage (fun () ->
+             let setup = Lazy.force s in
+             Pdf_core.Test_pair.simulate setup.big setup.test));
+      (* Table 7: the implication engine (undetectability + candidate
+         filtering, the run-time-ratio driver). *)
+      Test.make ~name:"t7_implication"
+        (Staged.stage (fun () ->
+             let setup = Lazy.force s in
+             Pdf_sim.Implication.infer setup.big
+               setup.faults.(0).Pdf_core.Fault_sim.reqs));
+    ]
+
+let () =
+  hr "Bechamel micro-benchmarks (one per table kernel)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let cell =
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
+          | Some _ | None -> "(no estimate)"
+        in
+        (name, cell) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, cell) -> Printf.printf "%-32s %s\n" name cell) rows;
+  print_newline ()

@@ -1,0 +1,685 @@
+(* pdfatpg: command-line driver for the path-delay-fault test enrichment
+   library.  Circuits are named either by a built-in profile (see
+   `pdfatpg profiles`) or by a path to an ISCAS .bench file. *)
+
+open Cmdliner
+
+module Circuit = Pdf_circuit.Circuit
+module Bench_io = Pdf_circuit.Bench_io
+module Stats = Pdf_circuit.Stats
+module Delay_model = Pdf_paths.Delay_model
+module Enumerate = Pdf_paths.Enumerate
+module Path = Pdf_paths.Path
+module Target_sets = Pdf_faults.Target_sets
+module Fault_sim = Pdf_core.Fault_sim
+module Atpg = Pdf_core.Atpg
+module Ordering = Pdf_core.Ordering
+module Test_pair = Pdf_core.Test_pair
+module Profiles = Pdf_synth.Profiles
+module Workload = Pdf_experiments.Workload
+
+let load_circuit name =
+  match Profiles.find name with
+  | Some p -> Ok (Profiles.circuit p)
+  | None ->
+    if Sys.file_exists name then
+      if Filename.check_suffix name ".v" then
+        match Pdf_circuit.Verilog_io.parse_file name with
+        | Ok c -> Ok c
+        | Error e ->
+          Error
+            (Printf.sprintf "%s: %s" name
+               (Pdf_circuit.Verilog_io.error_to_string e))
+      else
+        match Bench_io.parse_file name with
+        | Ok c -> Ok c
+        | Error e ->
+          Error (Printf.sprintf "%s: %s" name (Bench_io.error_to_string e))
+    else
+      Error
+        (Printf.sprintf
+           "unknown circuit %S (not a profile name or netlist file)" name)
+
+let circuit_arg =
+  let doc = "Circuit: a profile name (see $(b,pdfatpg profiles)) or a .bench file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (all randomness in the tool is seeded)." in
+  Arg.(value & opt int Workload.default_seed & info [ "seed" ] ~doc)
+
+let n_p_arg =
+  let doc = "Fault budget N_P for the enumerated set P." in
+  Arg.(value & opt int 2000 & info [ "n-p" ] ~doc)
+
+let n_p0_arg =
+  let doc = "Size threshold N_P0 for the first target set P0." in
+  Arg.(value & opt int 200 & info [ "n-p0" ] ~doc)
+
+let with_circuit name f =
+  match load_circuit name with
+  | Ok c -> f c
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let profiles_cmd =
+  let run () =
+    let t =
+      Pdf_util.Table.create
+        [ ("name", Pdf_util.Table.Left); ("description", Pdf_util.Table.Left) ]
+    in
+    List.iter
+      (fun p ->
+        Pdf_util.Table.add_row t [ p.Profiles.name; p.Profiles.description ])
+      Profiles.all;
+    Pdf_util.Table.print t
+  in
+  Cmd.v (Cmd.info "profiles" ~doc:"List built-in circuit profiles.")
+    Term.(const run $ const ())
+
+let info_cmd =
+  let run name =
+    with_circuit name (fun c ->
+        Printf.printf "%s: %s\n" c.Circuit.name
+          (Stats.to_string (Stats.compute c)))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print structural statistics of a circuit.")
+    Term.(const run $ circuit_arg)
+
+let paths_cmd =
+  let max_paths =
+    Arg.(value & opt int 20 & info [ "max-paths" ] ~doc:"Bound on |P|.")
+  in
+  let simple =
+    Arg.(value & flag & info [ "simple" ]
+         ~doc:"Use the simple (moderate-circuit) enumeration mode.")
+  in
+  let run name max_paths simple =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let mode =
+          if simple then Enumerate.Simple else Enumerate.Distance_pruned
+        in
+        let r = Enumerate.enumerate ~mode c model ~max_paths in
+        Printf.printf
+          "%d complete paths (steps=%d evicted=%d truncated=%b)\n"
+          (List.length r.Enumerate.paths) r.Enumerate.steps r.Enumerate.evicted
+          r.Enumerate.truncated;
+        List.iter
+          (fun (p, len) ->
+            Printf.printf "length %3d  %s\n" len (Path.to_string c p))
+          r.Enumerate.paths)
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Enumerate the longest paths of a circuit.")
+    Term.(const run $ circuit_arg $ max_paths $ simple)
+
+let histogram_cmd =
+  let run name n_p n_p0 =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let ts = Target_sets.build c model ~n_p ~n_p0 in
+        Printf.printf
+          "P=%d faults (undetectable removed: %d direct, %d implication)\n\
+           i0=%d, L_i0=%d, |P0|=%d, |P1|=%d\n\n"
+          (List.length ts.Target_sets.p)
+          ts.Target_sets.undetectable.Pdf_faults.Undetectable.direct_conflicts
+          ts.Target_sets.undetectable
+            .Pdf_faults.Undetectable.implication_conflicts
+          ts.Target_sets.i0 ts.Target_sets.cutoff_length
+          (List.length ts.Target_sets.p0)
+          (List.length ts.Target_sets.p1);
+        Pdf_util.Table.print
+          (Pdf_paths.Histogram.to_table ~max_rows:20 ts.Target_sets.histogram))
+  in
+  Cmd.v
+    (Cmd.info "histogram"
+       ~doc:"Path-length histogram and P0/P1 selection (paper Table 2).")
+    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg)
+
+let criterion_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "robust" -> Ok Pdf_faults.Robust.Robust
+        | "nonrobust" | "non-robust" -> Ok Pdf_faults.Robust.Non_robust
+        | _ -> Error (`Msg ("unknown criterion " ^ s))),
+      fun ppf c ->
+        Format.pp_print_string ppf
+          (match c with
+          | Pdf_faults.Robust.Robust -> "robust"
+          | Pdf_faults.Robust.Non_robust -> "nonrobust") )
+
+let criterion_arg =
+  let doc = "Sensitization criterion: robust (paper) or nonrobust." in
+  Arg.(value & opt criterion_conv Pdf_faults.Robust.Robust
+       & info [ "criterion" ] ~doc)
+
+let ordering_conv =
+  Arg.conv
+    ( (fun s ->
+        match Ordering.of_name s with
+        | Some o -> Ok o
+        | None -> Error (`Msg ("unknown ordering " ^ s))),
+      fun ppf o -> Format.pp_print_string ppf (Ordering.name o) )
+
+let ordering_arg =
+  let doc = "Compaction heuristic: uncomp, arbit, length or values." in
+  Arg.(value & opt ordering_conv Ordering.Value_based
+       & info [ "ordering" ] ~doc)
+
+let dump_arg =
+  let doc = "Write the generated tests to $(docv) (one v1/v3 line each)." in
+  Arg.(value & opt (some string) None & info [ "dump-tests" ] ~docv:"FILE" ~doc)
+
+let dump_tests path tests =
+  match path with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    List.iter (fun t -> output_string oc (Test_pair.to_string t ^ "\n")) tests;
+    close_out oc;
+    Printf.printf "wrote %d tests to %s\n" (List.length tests) file
+
+let atpg_cmd =
+  let relax_flag =
+    Arg.(value & flag
+         & info [ "relax" ]
+             ~doc:"Report how many input bits the tests actually need \
+                   (don't-care extraction).")
+  in
+  let run name n_p n_p0 seed ordering criterion relax dump =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
+        let faults0 = Fault_sim.prepare ~criterion c ts.Target_sets.p0 in
+        let res = Atpg.basic c { Atpg.ordering; seed } ~faults:faults0 in
+        Printf.printf
+          "basic ATPG (%s): %d/%d P0 faults detected, %d tests, %d aborted \
+           primaries, %.2fs\n"
+          (Ordering.name ordering)
+          (Fault_sim.count res.Atpg.detected)
+          (Array.length faults0)
+          (List.length res.Atpg.tests)
+          res.Atpg.primary_aborts res.Atpg.runtime_s;
+        if relax then begin
+          let total_bits = ref 0 and needed = ref 0 in
+          List.iter
+            (fun t ->
+              let detected = Fault_sim.detected_by_test c t faults0 in
+              let keep =
+                Array.to_list faults0
+                |> List.filteri (fun i _ -> detected.(i))
+                |> List.map (fun (p : Fault_sim.prepared) -> p.Fault_sim.reqs)
+              in
+              let r = Pdf_core.Relax.relax c t ~keep in
+              total_bits := !total_bits + (2 * c.Circuit.num_pis);
+              needed := !needed + Pdf_core.Relax.specified_bits r)
+            res.Atpg.tests;
+          if !total_bits > 0 then
+            Printf.printf
+              "relaxation: %d of %d pattern bits needed (%.0f%% don't-care)\n"
+              !needed !total_bits
+              (100.
+              *. float_of_int (!total_bits - !needed)
+              /. float_of_int !total_bits)
+        end;
+        dump_tests dump res.Atpg.tests)
+  in
+  Cmd.v
+    (Cmd.info "atpg"
+       ~doc:"Basic test generation for the P0 target faults (paper Sec. 2).")
+    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
+          $ ordering_arg $ criterion_arg $ relax_flag $ dump_arg)
+
+let enrich_cmd =
+  let coverage_flag =
+    Arg.(value & flag
+         & info [ "coverage" ]
+             ~doc:"Print a per-path-length coverage comparison of the basic \
+                   and enriched test sets.")
+  in
+  let run name n_p n_p0 seed criterion coverage dump =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
+        let faults = Fault_sim.prepare ~criterion c ts.Target_sets.p in
+        let n0 = List.length ts.Target_sets.p0 in
+        let p0 = List.init n0 (fun i -> i) in
+        let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+        let res = Atpg.enrich c ~seed ~faults ~p0 ~p1 in
+        Printf.printf
+          "enrichment: %d/%d P0 and %d/%d P0 u P1 faults detected, %d tests, \
+           %.2fs\n"
+          (Atpg.count_detected res ~ids:p0)
+          n0
+          (Fault_sim.count res.Atpg.detected)
+          (Array.length faults)
+          (List.length res.Atpg.tests)
+          res.Atpg.runtime_s;
+        if coverage then begin
+          let faults0 = Array.of_list (List.map (fun i -> faults.(i)) p0) in
+          let basic =
+            Atpg.basic c
+              { Atpg.ordering = Ordering.Value_based; seed }
+              ~faults:faults0
+          in
+          let basic_flags =
+            Fault_sim.detected_by_tests c basic.Atpg.tests faults
+          in
+          let module Coverage = Pdf_core.Coverage in
+          Pdf_util.Table.print
+            (Coverage.comparison_table
+               ~labels:
+                 [ Printf.sprintf "basic (%d tests)"
+                     (List.length basic.Atpg.tests);
+                   Printf.sprintf "enriched (%d tests)"
+                     (List.length res.Atpg.tests) ]
+               [ Coverage.of_flags faults basic_flags;
+                 Coverage.of_flags faults res.Atpg.detected ])
+        end;
+        dump_tests dump res.Atpg.tests)
+  in
+  Cmd.v
+    (Cmd.info "enrich"
+       ~doc:"Test enrichment with target sets P0 and P1 (paper Sec. 3).")
+    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
+          $ criterion_arg $ coverage_flag $ dump_arg)
+
+let faultsim_cmd =
+  let tests_file =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"TESTS" ~doc:"Test file (one v1/v3 line per test).")
+  in
+  let run name n_p n_p0 file =
+    with_circuit name (fun c ->
+        let parse_line lineno line =
+          match String.split_on_char '/' (String.trim line) with
+          | [ a; b ]
+            when String.length a = c.Circuit.num_pis
+                 && String.length b = c.Circuit.num_pis ->
+            let bits s = Array.init (String.length s) (fun i -> s.[i] = '1') in
+            Test_pair.create (bits a) (bits b)
+          | _ ->
+            Printf.eprintf "%s:%d: malformed test line\n" file lineno;
+            exit 1
+        in
+        let ic = open_in file in
+        let tests = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             incr lineno;
+             let line = input_line ic in
+             if String.trim line <> "" then
+               tests := parse_line !lineno line :: !tests
+           done
+         with End_of_file -> close_in ic);
+        let tests = List.rev !tests in
+        let model = Delay_model.lines c in
+        let ts = Target_sets.build c model ~n_p ~n_p0 in
+        let faults = Fault_sim.prepare c ts.Target_sets.p in
+        let detected = Fault_sim.detected_by_tests c tests faults in
+        let n0 = List.length ts.Target_sets.p0 in
+        let count_in lo hi =
+          let n = ref 0 in
+          Array.iteri (fun i d -> if d && i >= lo && i < hi then incr n) detected;
+          !n
+        in
+        Printf.printf
+          "%d tests: detect %d/%d of P0, %d/%d of P1, %d/%d of P0 u P1\n"
+          (List.length tests) (count_in 0 n0) n0
+          (count_in n0 (Array.length faults))
+          (Array.length faults - n0)
+          (Fault_sim.count detected) (Array.length faults))
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:"Robust path-delay fault simulation of a test file over P0 u P1.")
+    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ tests_file)
+
+let gen_cmd =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output netlist file.")
+  in
+  let verilog =
+    Arg.(value & flag
+         & info [ "verilog" ] ~doc:"Emit structural Verilog instead of .bench.")
+  in
+  let run name verilog out =
+    with_circuit name (fun c ->
+        let text =
+          if verilog then Pdf_circuit.Verilog_io.to_string c
+          else Bench_io.to_string c
+        in
+        match out with
+        | None -> print_string text
+        | Some file ->
+          let oc = open_out file in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Emit a circuit (profile or file) as .bench or Verilog text.")
+    Term.(const run $ circuit_arg $ verilog $ out)
+
+let count_cmd =
+  let run name =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let total = Pdf_paths.Count.total c in
+        let len, at_longest = Pdf_paths.Count.longest c model in
+        Printf.printf
+          "%s: %.6g complete paths (%.6g path delay faults)\n\
+           longest length %d (lines), %.6g paths at that length\n"
+          c.Circuit.name total (2. *. total) len at_longest;
+        let through = Pdf_paths.Count.through c in
+        let busiest = ref 0 in
+        Array.iteri
+          (fun net v -> if v > through.(!busiest) then busiest := net)
+          through;
+        Printf.printf "busiest line: %s with %.6g paths through it\n"
+          (Circuit.net_name c !busiest)
+          through.(!busiest))
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:"Count paths without enumeration (exact dynamic program).")
+    Term.(const run $ circuit_arg)
+
+let sta_cmd =
+  let period_arg =
+    Arg.(value & opt (some int) None
+         & info [ "period" ] ~docv:"T"
+             ~doc:"Clock period (defaults to the critical delay).")
+  in
+  let run name period =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let sta =
+          match period with
+          | Some period -> Pdf_paths.Sta.compute ~period c model
+          | None -> Pdf_paths.Sta.compute c model
+        in
+        let critical = Pdf_paths.Sta.critical_nets sta in
+        Printf.printf
+          "%s: period %d, %d critical net(s) of %d\n" c.Circuit.name
+          sta.Pdf_paths.Sta.period (List.length critical)
+          (Circuit.num_nets c);
+        (* Slack histogram. *)
+        let buckets = Hashtbl.create 32 in
+        Array.iter
+          (fun s ->
+            if s <> max_int then
+              Hashtbl.replace buckets s
+                (1 + Option.value ~default:0 (Hashtbl.find_opt buckets s)))
+          sta.Pdf_paths.Sta.slack;
+        let t =
+          Pdf_util.Table.create
+            [ ("slack", Pdf_util.Table.Right); ("nets", Pdf_util.Table.Right) ]
+        in
+        Hashtbl.fold (fun s n acc -> (s, n) :: acc) buckets []
+        |> List.sort compare
+        |> List.iteri (fun i (s, n) ->
+               if i < 15 then
+                 Pdf_util.Table.add_row t
+                   [ string_of_int s; string_of_int n ]);
+        Pdf_util.Table.print t)
+  in
+  Cmd.v
+    (Cmd.info "sta"
+       ~doc:"Static timing analysis: arrival/required/slack per net.")
+    Term.(const run $ circuit_arg $ period_arg)
+
+let timing_cmd =
+  let rank_arg =
+    Arg.(value & opt int 0
+         & info [ "fault" ] ~docv:"K"
+             ~doc:"Rank of the target fault in P (0 = longest path).")
+  in
+  let extra_arg =
+    Arg.(value & opt (some int) None
+         & info [ "extra" ] ~docv:"D"
+             ~doc:"Injected delay per path segment (default: slack + 1).")
+  in
+  let run name n_p n_p0 seed rank extra =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let ts = Target_sets.build c model ~n_p ~n_p0 in
+        let faults = Fault_sim.prepare c ts.Target_sets.p in
+        if rank < 0 || rank >= Array.length faults then begin
+          Printf.eprintf "fault rank out of range (P has %d faults)\n"
+            (Array.length faults);
+          exit 1
+        end;
+        let p = faults.(rank) in
+        let period = Pdf_core.Timing.nominal_period c model in
+        let slack = period - p.Fault_sim.length in
+        let extra = match extra with Some e -> e | None -> slack + 1 in
+        Printf.printf
+          "fault #%d: %s (length %d, slack %d), clock period %d\n" rank
+          (Pdf_faults.Fault.to_string c p.Fault_sim.fault)
+          p.Fault_sim.length slack period;
+        let engine = Pdf_core.Justify.create c in
+        let rng = Pdf_util.Rng.create seed in
+        match Pdf_core.Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+        | None -> print_endline "no robust test found"
+        | Some t ->
+          Printf.printf "robust test: %s\n" (Test_pair.to_string t);
+          let inject =
+            { Pdf_core.Timing.path = p.Fault_sim.fault.Pdf_faults.Fault.path;
+              extra }
+          in
+          let faulty = Pdf_core.Timing.simulate ~inject c model t in
+          Printf.printf
+            "with +%d per segment the faulty circuit settles at t=%d: %s\n"
+            extra faulty.Pdf_core.Timing.settle_time
+            (if
+               Pdf_core.Timing.detects c model ~t_sample:period ~inject t
+             then "DETECTED"
+             else "not detected (fault within slack)"))
+  in
+  Cmd.v
+    (Cmd.info "timing"
+       ~doc:"Timing-simulate a robust test against an injected path fault.")
+    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg $ rank_arg
+          $ extra_arg)
+
+let diagnose_cmd =
+  let rank_arg =
+    Arg.(value & opt int 0
+         & info [ "fault" ] ~docv:"K"
+             ~doc:"Rank in P of the fault to inject as ground truth.")
+  in
+  let top_arg =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"N" ~doc:"Candidates to print.")
+  in
+  let run name n_p n_p0 seed rank top =
+    with_circuit name (fun c ->
+        let model = Delay_model.lines c in
+        let ts = Target_sets.build c model ~n_p ~n_p0 in
+        let faults = Fault_sim.prepare c ts.Target_sets.p in
+        if rank < 0 || rank >= Array.length faults then begin
+          Printf.eprintf "fault rank out of range (P has %d faults)\n"
+            (Array.length faults);
+          exit 1
+        end;
+        let true_fault = faults.(rank) in
+        let n0 = List.length ts.Target_sets.p0 in
+        let p0 = List.init n0 (fun i -> i) in
+        let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+        let res = Atpg.enrich c ~seed ~faults ~p0 ~p1 in
+        let tests = res.Atpg.tests in
+        let period = Pdf_core.Timing.nominal_period c model in
+        let slack = period - true_fault.Fault_sim.length in
+        let inject =
+          { Pdf_core.Timing.path =
+              true_fault.Fault_sim.fault.Pdf_faults.Fault.path;
+            extra = slack + 1 }
+        in
+        let observed =
+          List.map
+            (fun t -> Pdf_core.Timing.detects c model ~t_sample:period ~inject t)
+            tests
+        in
+        Printf.printf
+          "injected: %s (length %d)\nsignature: %d/%d tests fail\n\n"
+          (Pdf_faults.Fault.to_string c true_fault.Fault_sim.fault)
+          true_fault.Fault_sim.length
+          (List.length (List.filter Fun.id observed))
+          (List.length tests);
+        let verdicts = Pdf_core.Diagnose.diagnose c tests faults ~observed in
+        Printf.printf "%d candidate fault(s); top %d:\n"
+          (List.length verdicts) top;
+        List.iteri
+          (fun i (v : Pdf_core.Diagnose.verdict) ->
+            if i < top then
+              Printf.printf
+                "  %s%s (robustly explains %d, weakly %d, unexplained %d)\n"
+                (Pdf_faults.Fault.to_string c
+                   faults.(v.Pdf_core.Diagnose.fault_id).Fault_sim.fault)
+                (if v.Pdf_core.Diagnose.fault_id = rank then "   <- injected"
+                 else "")
+                v.Pdf_core.Diagnose.explained
+                v.Pdf_core.Diagnose.maybe_explained
+                v.Pdf_core.Diagnose.unexplained)
+          verdicts)
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Inject a fault, capture its pass/fail signature, diagnose it.")
+    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg $ rank_arg
+          $ top_arg)
+
+let ablations_cmd =
+  let which =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"EN"
+             ~doc:"Run a single ablation: e1..e6.")
+  in
+  let profiles_arg =
+    Arg.(value & opt_all string [ "b09" ]
+         & info [ "profile" ] ~docv:"NAME" ~doc:"Profile(s) to run on.")
+  in
+  let run which names seed =
+    let module Ablations = Pdf_experiments.Ablations in
+    let profiles =
+      List.map
+        (fun n ->
+          match Profiles.find n with
+          | Some p -> p
+          | None ->
+            Printf.eprintf "unknown profile %s\n" n;
+            exit 1)
+        names
+    in
+    let scale = Workload.small in
+    let want label = match which with None -> true | Some w -> w = label in
+    if want "e1" then
+      print_string
+        (Ablations.estimation_error ~seed scale ~noises:[ 20; 50 ] profiles);
+    if want "e2" then print_string (Ablations.multiset ~seed scale profiles);
+    if want "e3" then
+      print_string (Ablations.static_compaction ~seed scale profiles);
+    if want "e4" then print_string (Ablations.criterion ~seed scale profiles);
+    if want "e5" then print_string (Ablations.justifier ~seed scale profiles);
+    if want "e6" then
+      List.iter
+        (fun p ->
+          print_string
+            (Ablations.scaling ~seed scale ~n_p0s:[ 100; 200; 400 ] p))
+        profiles
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run the beyond-the-paper ablations (E1-E6).")
+    Term.(const run $ which $ profiles_arg $ seed_arg)
+
+let tables_cmd =
+  let scale_conv =
+    Arg.conv
+      ( (fun s ->
+          match Workload.of_label s with
+          | Some sc -> Ok sc
+          | None -> Error (`Msg ("unknown scale " ^ s))),
+        fun ppf (s : Workload.scale) ->
+          Format.pp_print_string ppf s.Workload.label )
+  in
+  let scale_arg =
+    Arg.(value & opt scale_conv Workload.small
+         & info [ "scale" ] ~doc:"Experiment scale: small or paper.")
+  in
+  let which =
+    Arg.(value & opt (some int) None
+         & info [ "table" ] ~docv:"N" ~doc:"Only regenerate table N (1-7).")
+  in
+  let csv_dir =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR"
+             ~doc:"Also write Tables 3-7 as CSV files into $(docv).")
+  in
+  let run scale which csv seed =
+    let module Tables = Pdf_experiments.Tables in
+    let module Runner = Pdf_experiments.Runner in
+    let need n =
+      match which with None -> true | Some w -> w = n
+    in
+    if need 1 then print_string (Tables.table1 ());
+    if need 2 then print_string (Tables.table2 scale);
+    if need 3 || need 4 || need 5 || need 6 || need 7 then begin
+      let table_runs =
+        List.map
+          (fun p ->
+            Printf.eprintf "running %s...\n%!" p.Profiles.name;
+            Runner.run ~seed scale p)
+          Profiles.table_rows
+      in
+      let star_runs =
+        if need 6 then
+          List.map
+            (fun p ->
+              Printf.eprintf "running %s...\n%!" p.Profiles.name;
+              Runner.run ~seed ~with_basics:false scale p)
+            Profiles.star_rows
+        else []
+      in
+      if need 3 then print_string (Tables.table3 table_runs);
+      if need 4 then print_string (Tables.table4 table_runs);
+      if need 5 then print_string (Tables.table5 table_runs);
+      if need 6 then print_string (Tables.table6 (table_runs @ star_runs));
+      if need 7 then print_string (Tables.table7 table_runs);
+      match csv with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (stem, data) ->
+            let path = Filename.concat dir (stem ^ ".csv") in
+            Pdf_util.Csv.write_file data path;
+            Printf.eprintf "wrote %s\n" path)
+          (Tables.csv_exports ~table_runs
+             ~enrich_runs:(table_runs @ star_runs))
+    end
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables.")
+    Term.(const run $ scale_arg $ which $ csv_dir $ seed_arg)
+
+let () =
+  let doc = "Path delay fault test generation with multiple sets of target faults." in
+  let info = Cmd.info "pdfatpg" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        profiles_cmd; info_cmd; paths_cmd; histogram_cmd; count_cmd;
+        sta_cmd; atpg_cmd; enrich_cmd; faultsim_cmd; gen_cmd; timing_cmd;
+        diagnose_cmd; tables_cmd; ablations_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/delay_injection.ml: Array Int List Pdf_core Pdf_faults Pdf_paths Pdf_synth Pdf_util Printf

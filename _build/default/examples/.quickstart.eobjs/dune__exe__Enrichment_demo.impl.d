@@ -1,0 +1,1 @@
+examples/enrichment_demo.ml: Array List Pdf_core Pdf_faults Pdf_paths Pdf_synth Printf Sys

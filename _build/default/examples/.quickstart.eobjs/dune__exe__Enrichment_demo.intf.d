@@ -1,0 +1,1 @@
+examples/enrichment_demo.mli:

@@ -1,0 +1,1 @@
+examples/heuristics_compare.ml: Array List Pdf_circuit Pdf_core Pdf_faults Pdf_paths Pdf_synth Pdf_util Printf Sys

@@ -1,0 +1,1 @@
+examples/heuristics_compare.mli:

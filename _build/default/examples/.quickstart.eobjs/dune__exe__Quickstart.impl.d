@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Pdf_circuit Pdf_core Pdf_faults Pdf_paths Pdf_synth Printf

@@ -1,0 +1,1 @@
+examples/s27_walkthrough.ml: Array List Pdf_circuit Pdf_core Pdf_faults Pdf_paths Pdf_synth Pdf_util Pdf_values Printf String

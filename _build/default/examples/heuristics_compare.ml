@@ -1,0 +1,56 @@
+(* Compare the paper's four compaction heuristics (Tables 3 and 4 flavour)
+   on one circuit profile: same target faults, four orderings, watch the
+   test count drop while coverage stays put.
+
+   Run with: dune exec examples/heuristics_compare.exe [-- PROFILE] *)
+
+module Ordering = Pdf_core.Ordering
+module Atpg = Pdf_core.Atpg
+module Fault_sim = Pdf_core.Fault_sim
+module Target_sets = Pdf_faults.Target_sets
+
+let () =
+  let profile_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "b09" in
+  let profile =
+    match Pdf_synth.Profiles.find profile_name with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown profile %s\n" profile_name;
+      exit 1
+  in
+  let c = Pdf_synth.Profiles.circuit profile in
+  Printf.printf "circuit %s: %s\n\n" profile_name
+    (Pdf_circuit.Stats.to_string (Pdf_circuit.Stats.compute c));
+  let model = Pdf_paths.Delay_model.lines c in
+  let ts = Target_sets.build c model ~n_p:1000 ~n_p0:100 in
+  let faults = Fault_sim.prepare c ts.Target_sets.p0 in
+  Printf.printf "target set P0: %d faults on paths of length >= %d\n\n"
+    (Array.length faults) ts.Target_sets.cutoff_length;
+  let table =
+    Pdf_util.Table.create
+      ~title:"basic test generation under the four heuristics"
+      [
+        ("heuristic", Pdf_util.Table.Left);
+        ("detected", Pdf_util.Table.Right);
+        ("tests", Pdf_util.Table.Right);
+        ("aborted", Pdf_util.Table.Right);
+        ("time (s)", Pdf_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun ordering ->
+      let res = Atpg.basic c { Atpg.ordering; seed = 11 } ~faults in
+      Pdf_util.Table.add_row table
+        [
+          Ordering.name ordering;
+          string_of_int (Fault_sim.count res.Atpg.detected);
+          string_of_int (List.length res.Atpg.tests);
+          string_of_int res.Atpg.primary_aborts;
+          Printf.sprintf "%.2f" res.Atpg.runtime_s;
+        ])
+    Ordering.all;
+  Pdf_util.Table.print table;
+  print_endline
+    "\nAll heuristics detect (almost) the same faults; dynamic compaction\n\
+     cuts the test count by 2-3x, and the value-based order tends to edge\n\
+     out the others — the paper selects it for the enrichment procedure."

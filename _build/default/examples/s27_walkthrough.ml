@@ -1,0 +1,100 @@
+(* The paper's running example on the genuine s27 (Figure 1 / Table 1):
+
+   - bounded path enumeration with N_P = 20 paths in the paper's "simple"
+     mode, showing the eviction of the shortest complete paths;
+   - the robust condition set A(p) of the example fault (the slow-to-rise
+     fault on the path the paper labels (2,9,10,15));
+   - a two-pattern test justified for it, and the check that the test
+     indeed assigns all of A(p).
+
+   Run with: dune exec examples/s27_walkthrough.exe *)
+
+module Circuit = Pdf_circuit.Circuit
+module Path = Pdf_paths.Path
+module Enumerate = Pdf_paths.Enumerate
+module Fault = Pdf_faults.Fault
+module Robust = Pdf_faults.Robust
+module Justify = Pdf_core.Justify
+module Test_pair = Pdf_core.Test_pair
+
+let () =
+  let c = Pdf_synth.Iscas.s27 () in
+  print_endline "=== s27 netlist (combinational logic) ===";
+  print_string (Pdf_circuit.Bench_io.to_string c);
+
+  print_endline "\n=== bounded enumeration, N_P = 20 paths, simple mode ===";
+  let model = Pdf_paths.Delay_model.lines c in
+  let r =
+    Enumerate.enumerate ~mode:Enumerate.Simple ~record_events:true c model
+      ~max_paths:20
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Enumerate.Evicted (p, len, _) ->
+        Printf.printf "evicted shortest complete path %s (length %d)\n"
+          (Path.to_string c p) len
+      | Enumerate.Completed _ -> ())
+    r.Enumerate.events;
+  Printf.printf "final: %d complete paths, lengths %d..%d\n"
+    (List.length r.Enumerate.paths)
+    (List.fold_left (fun a (_, l) -> min a l) max_int r.Enumerate.paths)
+    (List.fold_left (fun a (_, l) -> max a l) 0 r.Enumerate.paths);
+
+  print_endline "\n=== the example fault and its A(p) ===";
+  (* The paper's path (2,9,10,15): source input G1, through NOR gate G12,
+     observed at pseudo primary output G13 (a flip-flop data input). *)
+  let net name =
+    match Circuit.find_net c name with Some n -> n | None -> assert false
+  in
+  let hop_into gate_out prev =
+    match Circuit.gate_of_net c (net gate_out) with
+    | None -> assert false
+    | Some g ->
+      let fanins = c.Circuit.gates.(g).Circuit.fanins in
+      let pin = ref (-1) in
+      Array.iteri (fun i f -> if f = net prev then pin := i) fanins;
+      { Path.gate = g; pin = !pin }
+  in
+  let path =
+    Path.extend
+      (Path.extend (Path.source_only (net "G1")) (hop_into "G12" "G1"))
+      (hop_into "G13" "G12")
+  in
+  let fault = Fault.rising path in
+  Printf.printf "fault: %s\n" (Fault.to_string c fault);
+  let reqs =
+    match Robust.conditions c fault with
+    | Some reqs -> reqs
+    | None -> failwith "example fault should be detectable"
+  in
+  List.iter
+    (fun (n, req) ->
+      Printf.printf "  line %-4s must carry %s\n" (Circuit.net_name c n)
+        (Pdf_values.Req.to_string req))
+    reqs;
+  print_endline
+    "  (source transition 0x1 on G1; stable 0 on the NOR side input G7\n\
+    \   because the on-path transition ends at the controlling value; a\n\
+    \   hazard-free 1 on the NAND side input G2.)";
+
+  print_endline "\n=== justifying a two-pattern test for it ===";
+  let engine = Justify.create c in
+  let rng = Pdf_util.Rng.create 7 in
+  match Justify.run engine ~rng ~reqs with
+  | None -> print_endline "no test found (unexpected)"
+  | Some t ->
+    Printf.printf "test %s (inputs %s)\n" (Test_pair.to_string t)
+      (String.concat ","
+         (List.map (Circuit.net_name c) (Circuit.pis c)));
+    let values = Test_pair.simulate c t in
+    List.iter
+      (fun (n, req) ->
+        Printf.printf "  %-4s simulates to %s, requirement %s: %s\n"
+          (Circuit.net_name c n)
+          (Pdf_values.Triple.to_string values.(n))
+          (Pdf_values.Req.to_string req)
+          (if Pdf_values.Req.satisfied_by values.(n) req then "ok"
+           else "VIOLATED"))
+      reqs;
+    Printf.printf "robustly detected: %b\n" (Test_pair.satisfies c t reqs)

@@ -1,0 +1,1 @@
+lib/circuit/bench_io.ml: Array Buffer Builder Circuit Filename Gate List Printf String

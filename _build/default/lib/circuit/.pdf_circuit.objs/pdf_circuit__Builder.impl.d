@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Array Circuit Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Format Pdf_values String

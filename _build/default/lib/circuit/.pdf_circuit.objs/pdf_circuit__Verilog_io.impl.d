@@ -1,0 +1,1 @@
+lib/circuit/verilog_io.ml: Array Buffer Builder Circuit Filename Gate List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/verilog_io.mli: Circuit

@@ -1,0 +1,106 @@
+type parse_error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Err of parse_error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+(* Recognize "HEAD(arg1, arg2, ...)" and return (HEAD, args). *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno "expected '(' in %s" s
+  | Some open_paren ->
+    if s.[String.length s - 1] <> ')' then fail lineno "missing ')' in %s" s;
+    let head = strip (String.sub s 0 open_paren) in
+    let args_str =
+      String.sub s (open_paren + 1) (String.length s - open_paren - 2)
+    in
+    let args =
+      if strip args_str = "" then []
+      else List.map strip (String.split_on_char ',' args_str)
+    in
+    (head, args)
+
+let parse_string ~name text =
+  try
+    let builder = Builder.create name in
+    let dff_count = ref 0 in
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let line = strip line in
+        if line <> "" then
+          match String.index_opt line '=' with
+          | None -> (
+            let head, args = parse_call lineno line in
+            match String.uppercase_ascii head, args with
+            | "INPUT", [ n ] -> Builder.add_pi builder n
+            | "OUTPUT", [ n ] -> Builder.add_po builder n
+            | ("INPUT" | "OUTPUT"), _ ->
+              fail lineno "INPUT/OUTPUT take exactly one net"
+            | _, _ -> fail lineno "unknown directive %s" head)
+          | Some eq ->
+            let out = strip (String.sub line 0 eq) in
+            let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+            let head, args = parse_call lineno rhs in
+            if String.uppercase_ascii head = "DFF" then (
+              match args with
+              | [ data ] ->
+                incr dff_count;
+                (* Combinational extraction: the DFF's output is driven by
+                   the environment (pseudo-PI) and its data input must be
+                   observable (pseudo-PO). *)
+                Builder.add_pi builder out;
+                Builder.add_po builder data
+              | _ -> fail lineno "DFF takes exactly one input")
+            else
+              match Gate.kind_of_name head with
+              | None -> fail lineno "unknown gate kind %s" head
+              | Some kind -> Builder.add_gate builder ~out kind args)
+      lines;
+    match Builder.finish builder with
+    | Ok c -> Ok c
+    | Error e -> Error { line = 0; message = Builder.error_to_string e }
+  with Err e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "# %s\n" c.name;
+  for pi = 0 to c.num_pis - 1 do
+    Printf.bprintf buf "INPUT(%s)\n" c.net_names.(pi)
+  done;
+  Array.iter (fun po -> Printf.bprintf buf "OUTPUT(%s)\n" c.net_names.(po)) c.pos;
+  Array.iteri
+    (fun i (g : Circuit.gate) ->
+      let out = Circuit.net_of_gate c i in
+      let fanins =
+        Array.to_list g.fanins |> List.map (fun f -> c.net_names.(f))
+      in
+      Printf.bprintf buf "%s = %s(%s)\n" c.net_names.(out)
+        (Gate.kind_name g.kind)
+        (String.concat ", " fanins))
+    c.gates;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Reader/writer for the ISCAS [.bench] netlist format.
+
+    Sequential circuits are handled the way delay-fault ATPG tools handle
+    them: the combinational logic is extracted by turning every DFF output
+    into a pseudo primary input and every DFF data input into a pseudo
+    primary output (full-scan assumption, as in the paper which considers
+    "the combinational logic of ISCAS-89 benchmark circuits"). *)
+
+type parse_error = { line : int; message : string }
+
+val parse_string : name:string -> string -> (Circuit.t, parse_error) result
+(** Parse [.bench] text: [INPUT(n)], [OUTPUT(n)], [n = KIND(a, b, ...)],
+    [#] comments.  [KIND = DFF] triggers the combinational extraction. *)
+
+val parse_file : string -> (Circuit.t, parse_error) result
+(** [parse_file path]; the circuit name is the file's basename without
+    extension. *)
+
+val to_string : Circuit.t -> string
+(** Emit a (purely combinational) [.bench] description. *)
+
+val error_to_string : parse_error -> string

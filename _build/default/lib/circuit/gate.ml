@@ -1,0 +1,83 @@
+module Bit = Pdf_values.Bit
+
+type kind = And | Nand | Or | Nor | Not | Buff | Xor | Xnor
+
+let kind_name = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Not -> "NOT"
+  | Buff -> "BUFF"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let kind_of_name s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "NOT" | "INV" -> Some Not
+  | "BUFF" | "BUF" -> Some Buff
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let controlling = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Not | Buff | Xor | Xnor -> None
+
+let inverting = function
+  | Nand | Nor | Not | Xnor -> true
+  | And | Or | Buff | Xor -> false
+
+let min_arity = function
+  | Not | Buff -> 1
+  | And | Nand | Or | Nor | Xor | Xnor -> 2
+
+let max_arity = function
+  | Not | Buff -> Some 1
+  | And | Nand | Or | Nor | Xor | Xnor -> None
+
+let check_arity kind n =
+  if n < min_arity kind then
+    invalid_arg ("Gate.eval: too few inputs for " ^ kind_name kind);
+  match max_arity kind with
+  | Some m when n > m ->
+    invalid_arg ("Gate.eval: too many inputs for " ^ kind_name kind)
+  | Some _ | None -> ()
+
+let fold_inputs f init (inputs : Bit.t array) =
+  let acc = ref init in
+  for i = 0 to Array.length inputs - 1 do
+    acc := f !acc inputs.(i)
+  done;
+  !acc
+
+let eval kind inputs =
+  check_arity kind (Array.length inputs);
+  match kind with
+  | Buff -> inputs.(0)
+  | Not -> Bit.not_ inputs.(0)
+  | And -> fold_inputs Bit.and_ Bit.One inputs
+  | Nand -> Bit.not_ (fold_inputs Bit.and_ Bit.One inputs)
+  | Or -> fold_inputs Bit.or_ Bit.Zero inputs
+  | Nor -> Bit.not_ (fold_inputs Bit.or_ Bit.Zero inputs)
+  | Xor -> fold_inputs Bit.xor Bit.Zero inputs
+  | Xnor -> Bit.not_ (fold_inputs Bit.xor Bit.Zero inputs)
+
+let eval2 kind a b =
+  match kind with
+  | And -> Bit.and_ a b
+  | Nand -> Bit.not_ (Bit.and_ a b)
+  | Or -> Bit.or_ a b
+  | Nor -> Bit.not_ (Bit.or_ a b)
+  | Xor -> Bit.xor a b
+  | Xnor -> Bit.not_ (Bit.xor a b)
+  | Not | Buff -> invalid_arg "Gate.eval2: unary kind"
+
+let all_kinds = [ And; Nand; Or; Nor; Not; Buff; Xor; Xnor ]
+
+let pp ppf kind = Format.pp_print_string ppf (kind_name kind)

@@ -1,0 +1,37 @@
+(** Gate kinds and their logic/structural properties.
+
+    The vocabulary is the ISCAS-89 [.bench] gate set (AND, NAND, OR, NOR,
+    NOT, BUFF) extended with XOR/XNOR. *)
+
+type kind = And | Nand | Or | Nor | Not | Buff | Xor | Xnor
+
+val kind_name : kind -> string
+(** Upper-case [.bench] mnemonic, e.g. ["NAND"]. *)
+
+val kind_of_name : string -> kind option
+(** Case-insensitive parse of the mnemonic ("BUF" also accepted). *)
+
+val controlling : kind -> bool option
+(** The controlling input value: [Some false] for AND/NAND, [Some true] for
+    OR/NOR, [None] for the other kinds (no single controlling value). *)
+
+val inverting : kind -> bool
+(** Whether a transition on one input (with all side inputs at
+    non-controlling values, or at stable 0 for XOR/XNOR) appears inverted
+    at the output: true for NAND/NOR/NOT/XNOR. *)
+
+val min_arity : kind -> int
+
+val max_arity : kind -> int option
+(** [None] means unbounded. *)
+
+val eval : kind -> Pdf_values.Bit.t array -> Pdf_values.Bit.t
+(** Three-valued evaluation.  Raises [Invalid_argument] on an arity
+    violation. *)
+
+val eval2 : kind -> Pdf_values.Bit.t -> Pdf_values.Bit.t -> Pdf_values.Bit.t
+(** Two-input special case (allocation free). *)
+
+val all_kinds : kind list
+
+val pp : Format.formatter -> kind -> unit

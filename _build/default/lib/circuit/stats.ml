@@ -1,0 +1,53 @@
+type t = {
+  num_pis : int;
+  num_pos : int;
+  num_gates : int;
+  num_nets : int;
+  depth : int;
+  max_fanout : int;
+  num_fanout_stems : int;
+  gate_histogram : (Gate.kind * int) list;
+}
+
+let compute (c : Circuit.t) =
+  let max_fanout = ref 0 and stems = ref 0 in
+  Array.iter
+    (fun fo ->
+      let n = Array.length fo in
+      if n > !max_fanout then max_fanout := n;
+      if n > 1 then incr stems)
+    c.fanouts;
+  let histogram =
+    List.filter_map
+      (fun kind ->
+        let n =
+          Array.fold_left
+            (fun acc (g : Circuit.gate) -> if g.kind = kind then acc + 1 else acc)
+            0 c.gates
+        in
+        if n = 0 then None else Some (kind, n))
+      Gate.all_kinds
+  in
+  {
+    num_pis = c.num_pis;
+    num_pos = Circuit.num_pos c;
+    num_gates = Circuit.num_gates c;
+    num_nets = Circuit.num_nets c;
+    depth = Circuit.depth c;
+    max_fanout = !max_fanout;
+    num_fanout_stems = !stems;
+    gate_histogram = histogram;
+  }
+
+let to_string t =
+  let hist =
+    t.gate_histogram
+    |> List.map (fun (kind, n) -> Printf.sprintf "%s:%d" (Gate.kind_name kind) n)
+    |> String.concat " "
+  in
+  Printf.sprintf
+    "PIs=%d POs=%d gates=%d nets=%d depth=%d max_fanout=%d fanout_stems=%d [%s]"
+    t.num_pis t.num_pos t.num_gates t.num_nets t.depth t.max_fanout
+    t.num_fanout_stems hist
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,18 @@
+(** Structural statistics of a circuit. *)
+
+type t = {
+  num_pis : int;
+  num_pos : int;
+  num_gates : int;
+  num_nets : int;
+  depth : int;  (** maximum logic level *)
+  max_fanout : int;
+  num_fanout_stems : int;  (** nets with fanout > 1 *)
+  gate_histogram : (Gate.kind * int) list;
+}
+
+val compute : Circuit.t -> t
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

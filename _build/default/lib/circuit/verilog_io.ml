@@ -1,0 +1,223 @@
+type parse_error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Err of parse_error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+
+(* Tokenize, stripping // and /* */ comments, tracking line numbers. *)
+let tokenize text =
+  let tokens = ref [] in
+  let n = String.length text in
+  let line = ref 1 in
+  let i = ref 0 in
+  let is_ident_char ch =
+    (ch >= 'a' && ch <= 'z')
+    || (ch >= 'A' && ch <= 'Z')
+    || (ch >= '0' && ch <= '9')
+    || ch = '_' || ch = '$'
+  in
+  while !i < n do
+    let ch = text.[!i] in
+    if ch = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if ch = ' ' || ch = '\t' || ch = '\r' then incr i
+    else if ch = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if ch = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if text.[!i] = '\n' then incr line;
+        if !i + 1 < n && text.[!i] = '*' && text.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail !line "unterminated comment"
+    end
+    else if ch = '(' then (tokens := (Lparen, !line) :: !tokens; incr i)
+    else if ch = ')' then (tokens := (Rparen, !line) :: !tokens; incr i)
+    else if ch = ',' then (tokens := (Comma, !line) :: !tokens; incr i)
+    else if ch = ';' then (tokens := (Semi, !line) :: !tokens; incr i)
+    else if is_ident_char ch then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+    end
+    else fail !line "unexpected character %C" ch
+  done;
+  List.rev !tokens
+
+(* Split the token stream into ';'-terminated statements; [endmodule]
+   stands alone without a semicolon. *)
+let statements tokens =
+  let rec go current acc = function
+    | [] ->
+      if current = [] then List.rev acc
+      else
+        let line = match current with (_, l) :: _ -> l | [] -> 0 in
+        fail line "missing ';' at end of input"
+    | (Semi, _) :: rest -> go [] (List.rev current :: acc) rest
+    | ((Ident "endmodule", line) as tok) :: rest ->
+      if current <> [] then fail line "missing ';' before endmodule";
+      go [] ([ tok ] :: acc) rest
+    | tok :: rest -> go (tok :: current) acc rest
+  in
+  go [] [] tokens
+
+let idents_of line toks =
+  List.map
+    (fun (tok, l) ->
+      match tok with
+      | Ident s -> s
+      | Lparen | Rparen | Comma -> fail l "expected identifier"
+      | Semi -> fail line "unexpected ';'")
+    (List.filter (fun (tok, _) -> tok <> Comma) toks)
+
+(* Parse "( a , b , c )" returning the names. *)
+let parse_port_list line toks =
+  match toks with
+  | (Lparen, _) :: rest -> (
+    let rec take acc = function
+      | [ (Rparen, _) ] -> List.rev acc
+      | (Ident s, _) :: rest -> take (s :: acc) rest
+      | (Comma, _) :: rest -> take acc rest
+      | _ -> fail line "malformed connection list"
+    in
+    match rest with [] -> fail line "empty connection list" | _ -> take [] rest)
+  | _ -> fail line "expected '('"
+
+let parse_string ~name text =
+  try
+    let stmts = statements (tokenize text) in
+    let builder_name = ref name in
+    let b = ref None in
+    let get_builder line =
+      match !b with
+      | Some builder -> builder
+      | None -> fail line "statement outside module"
+    in
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | [] -> ()
+        | (Ident "module", line) :: rest -> (
+          if !b <> None then fail line "nested module";
+          match rest with
+          | (Ident mod_name, _) :: _ ->
+            builder_name := mod_name;
+            b := Some (Builder.create mod_name)
+          | _ -> fail line "expected module name")
+        | [ (Ident "endmodule", _) ] -> ()
+        | (Ident "input", line) :: rest ->
+          List.iter (Builder.add_pi (get_builder line)) (idents_of line rest)
+        | (Ident "output", line) :: rest ->
+          List.iter (Builder.add_po (get_builder line)) (idents_of line rest)
+        | (Ident "wire", _) :: _ -> ()
+        | (Ident prim, line) :: rest -> (
+          let kind =
+            match String.lowercase_ascii prim with
+            | "and" -> Gate.And
+            | "nand" -> Gate.Nand
+            | "or" -> Gate.Or
+            | "nor" -> Gate.Nor
+            | "not" -> Gate.Not
+            | "buf" -> Gate.Buff
+            | "xor" -> Gate.Xor
+            | "xnor" -> Gate.Xnor
+            | other -> fail line "unsupported construct %S" other
+          in
+          (* Optional instance name before the connection list. *)
+          let conn_tokens =
+            match rest with
+            | (Ident _, _) :: ((Lparen, _) :: _ as conn) -> conn
+            | (Lparen, _) :: _ -> rest
+            | _ -> fail line "expected connection list"
+          in
+          match parse_port_list line conn_tokens with
+          | out :: (_ :: _ as inputs) ->
+            Builder.add_gate (get_builder line) ~out kind inputs
+          | _ -> fail line "primitive needs an output and at least one input")
+        | (tok, line) :: _ ->
+          ignore tok;
+          fail line "unexpected statement")
+      stmts;
+    match !b with
+    | None -> Error { line = 1; message = "no module found" }
+    | Some builder -> (
+      match Builder.finish builder with
+      | Ok c -> Ok c
+      | Error e -> Error { line = 0; message = Builder.error_to_string e })
+  with Err e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let prim_name = function
+  | Gate.And -> "and"
+  | Gate.Nand -> "nand"
+  | Gate.Or -> "or"
+  | Gate.Nor -> "nor"
+  | Gate.Not -> "not"
+  | Gate.Buff -> "buf"
+  | Gate.Xor -> "xor"
+  | Gate.Xnor -> "xnor"
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  let pis = List.init c.num_pis (fun i -> c.net_names.(i)) in
+  let pos = Array.to_list (Array.map (fun po -> c.net_names.(po)) c.pos) in
+  (* A PI that is also a PO needs a buffer to a distinct output port. *)
+  let aliased =
+    List.filter (fun po -> List.mem po pis) pos
+  in
+  let out_port po = if List.mem po aliased then po ^ "_out" else po in
+  Printf.bprintf buf "module %s (%s);\n" c.name
+    (String.concat ", " (pis @ List.map out_port pos));
+  Printf.bprintf buf "  input %s;\n" (String.concat ", " pis);
+  Printf.bprintf buf "  output %s;\n"
+    (String.concat ", " (List.map out_port pos));
+  let wires =
+    Array.to_list c.gates
+    |> List.mapi (fun i (_ : Circuit.gate) -> Circuit.net_of_gate c i)
+    |> List.filter (fun net -> not c.is_po.(net))
+    |> List.map (fun net -> c.net_names.(net))
+  in
+  if wires <> [] then
+    Printf.bprintf buf "  wire %s;\n" (String.concat ", " wires);
+  Array.iteri
+    (fun i (g : Circuit.gate) ->
+      let out = Circuit.net_of_gate c i in
+      let conns =
+        c.net_names.(out)
+        :: (Array.to_list g.fanins |> List.map (fun f -> c.net_names.(f)))
+      in
+      Printf.bprintf buf "  %s g%d (%s);\n" (prim_name g.kind) i
+        (String.concat ", " conns))
+    c.gates;
+  List.iter
+    (fun po -> Printf.bprintf buf "  buf b_%s (%s, %s);\n" po (out_port po) po)
+    aliased;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf

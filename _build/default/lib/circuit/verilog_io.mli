@@ -1,0 +1,31 @@
+(** Reader/writer for a structural Verilog subset.
+
+    The accepted subset is what gate-level ATPG netlists use: one module
+    with [input]/[output]/[wire] declarations and primitive gate
+    instantiations —
+
+    {v
+    module top (a, b, y);
+      input a, b;
+      output y;
+      wire n1;
+      nand g1 (n1, a, b);
+      not  g2 (y, n1);
+    endmodule
+    v}
+
+    Primitive connection order is output first, then inputs (standard
+    Verilog).  [buf] maps to BUFF.  Unsupported constructs (assign,
+    always, vectors, parameters) are reported as parse errors. *)
+
+type parse_error = { line : int; message : string }
+
+val error_to_string : parse_error -> string
+
+val parse_string : name:string -> string -> (Circuit.t, parse_error) result
+(** [name] is used only if the module header cannot supply one. *)
+
+val parse_file : string -> (Circuit.t, parse_error) result
+
+val to_string : Circuit.t -> string
+(** Emit the circuit as a structural Verilog module. *)

@@ -1,0 +1,1 @@
+lib/core/atpg.ml: Array Fault_sim Hashtbl Int Justify List Ordering Pdf_circuit Pdf_sim Pdf_util Pdf_values Sys Test_pair

@@ -1,0 +1,1 @@
+lib/core/atpg.mli: Fault_sim Ordering Pdf_circuit Test_pair

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Fault_sim Hashtbl Int List Pdf_util

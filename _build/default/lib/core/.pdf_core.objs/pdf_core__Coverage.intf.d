@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Fault_sim Pdf_util

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Fault_sim Int List Pdf_faults Pdf_values Test_pair

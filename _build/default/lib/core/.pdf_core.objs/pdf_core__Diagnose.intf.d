@@ -1,0 +1,1 @@
+lib/core/diagnose.mli: Fault_sim Pdf_circuit Test_pair

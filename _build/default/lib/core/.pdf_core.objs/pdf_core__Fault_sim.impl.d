@@ -1,0 +1,1 @@
+lib/core/fault_sim.ml: Array List Pdf_faults Pdf_values Test_pair

@@ -1,0 +1,1 @@
+lib/core/fault_sim.mli: Pdf_circuit Pdf_faults Pdf_values Test_pair

@@ -1,0 +1,1 @@
+lib/core/justify.ml: Array Hashtbl List Pdf_circuit Pdf_sim Pdf_util Pdf_values Test_pair

@@ -1,0 +1,1 @@
+lib/core/justify.mli: Pdf_circuit Pdf_util Pdf_values Test_pair

@@ -1,0 +1,1 @@
+lib/core/relax.ml: Array List Pdf_sim Pdf_values Test_pair

@@ -1,0 +1,1 @@
+lib/core/relax.mli: Pdf_circuit Pdf_values Test_pair

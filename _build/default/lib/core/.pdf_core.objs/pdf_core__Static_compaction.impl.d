@@ -1,0 +1,1 @@
+lib/core/static_compaction.ml: Array Fault_sim List

@@ -1,0 +1,1 @@
+lib/core/static_compaction.mli: Fault_sim Pdf_circuit Test_pair

@@ -1,0 +1,1 @@
+lib/core/test_io.ml: Array List Printf String Test_pair

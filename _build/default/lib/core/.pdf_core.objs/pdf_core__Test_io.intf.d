@@ -1,0 +1,1 @@
+lib/core/test_io.mli: Test_pair

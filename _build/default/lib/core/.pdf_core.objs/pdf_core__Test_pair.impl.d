@@ -1,0 +1,1 @@
+lib/core/test_pair.ml: Array Pdf_sim Pdf_values String

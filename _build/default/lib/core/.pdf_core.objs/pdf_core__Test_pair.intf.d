@@ -1,0 +1,1 @@
+lib/core/test_pair.mli: Pdf_circuit Pdf_sim Pdf_values

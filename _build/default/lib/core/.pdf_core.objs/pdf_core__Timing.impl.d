@@ -1,0 +1,1 @@
+lib/core/timing.ml: Array Hashtbl List Pdf_circuit Pdf_paths Pdf_sim Pdf_util Test_pair

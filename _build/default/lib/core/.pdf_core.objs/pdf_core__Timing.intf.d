@@ -1,0 +1,1 @@
+lib/core/timing.mli: Pdf_circuit Pdf_paths Test_pair

@@ -1,0 +1,327 @@
+module Req = Pdf_values.Req
+module Circuit = Pdf_circuit.Circuit
+module Rng = Pdf_util.Rng
+
+type config = {
+  ordering : Ordering.t;
+  seed : int;
+}
+
+type result = {
+  tests : Test_pair.t list;
+  detected : bool array;
+  primary_aborts : int;
+  justification_runs : int;
+  justification_trials : int;
+  runtime_s : float;
+}
+
+(* [delta acc reqs] — the requirement values a candidate fault adds on top
+   of the accumulated set: [None] on a direct conflict, otherwise the
+   per-net merged updates together with [n_Delta], the number of newly
+   pinned components (the paper's value-based selection metric). *)
+let delta acc reqs =
+  let count_new (current : Req.t) (want : Req.t) =
+    let one cur_c want_c =
+      match cur_c, want_c with
+      | _, Req.Any -> Some 0
+      | Req.Any, Req.Must _ -> Some 1
+      | Req.Must a, Req.Must b -> if a = b then Some 0 else None
+    in
+    match
+      one current.Req.r1 want.Req.r1, one current.Req.r2 want.Req.r2,
+      one current.Req.r3 want.Req.r3
+    with
+    | Some a, Some b, Some c -> Some (a + b + c)
+    | _, _, _ -> None
+  in
+  let exception Clash in
+  try
+    let updates, n =
+      List.fold_left
+        (fun (updates, n) (net, req) ->
+          let current =
+            match List.assoc_opt net updates with
+            | Some r -> r
+            | None -> (
+              match Hashtbl.find_opt acc net with
+              | Some r -> r
+              | None -> Req.any)
+          in
+          match count_new current req with
+          | None -> raise Clash
+          | Some added ->
+            let merged =
+              match Req.merge current req with
+              | Some m -> m
+              | None -> assert false (* count_new succeeded *)
+            in
+            ((net, merged) :: List.remove_assoc net updates, n + added))
+        ([], 0) reqs
+    in
+    Some (updates, n)
+  with Clash -> None
+
+let commit acc updates =
+  List.iter (fun (net, req) -> Hashtbl.replace acc net req) updates
+
+let reqs_with acc updates =
+  Hashtbl.fold
+    (fun net req l ->
+      if List.mem_assoc net updates then l else (net, req) :: l)
+    acc updates
+
+let shuffle rng ids =
+  let a = Array.of_list ids in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(* Rank of every fault under the configured ordering; lower rank is
+   selected first (both as primary and when scanning secondaries). *)
+let compute_ranks config (faults : Fault_sim.prepared array) =
+  let n = Array.length faults in
+  let ids = List.init n (fun i -> i) in
+  let order =
+    match config.ordering with
+    | Ordering.Uncompacted | Ordering.Arbitrary ->
+      shuffle (Rng.create (config.seed lxor 0x5eed)) ids
+    | Ordering.Length_based | Ordering.Value_based ->
+      List.sort
+        (fun a b ->
+          let la = faults.(a).Fault_sim.length
+          and lb = faults.(b).Fault_sim.length in
+          if la <> lb then Int.compare lb la else Int.compare a b)
+        ids
+  in
+  let rank = Array.make n 0 in
+  List.iteri (fun pos id -> rank.(id) <- pos) order;
+  rank
+
+type test_state = {
+  mutable test : Test_pair.t;
+  mutable values : Pdf_values.Triple.t array;
+  acc : (int, Req.t) Hashtbl.t;
+  mutable implied : Pdf_values.Triple.t array;
+      (** line values implied by [acc]; candidates contradicting them are
+          provably un-addable and are rejected without a search *)
+}
+
+let recompute_implied c acc =
+  let reqs = Hashtbl.fold (fun net req l -> (net, req) :: l) acc [] in
+  match Pdf_sim.Implication.infer c reqs with
+  | Pdf_sim.Implication.Consistent values -> values
+  | Pdf_sim.Implication.Conflict _ ->
+    (* [acc] is always witnessed satisfiable by the current test. *)
+    assert false
+
+(* A candidate's conditions contradict the values implied by the
+   accumulated requirements: adding it can never succeed. *)
+let contradicts_implied implied reqs =
+  List.exists
+    (fun (net, (req : Req.t)) ->
+      let (v : Pdf_values.Triple.t) = implied.(net) in
+      not
+        (Req.compatible_bit v.Pdf_values.Triple.v1 req.Req.r1
+        && Req.compatible_bit v.Pdf_values.Triple.v2 req.Req.r2
+        && Req.compatible_bit v.Pdf_values.Triple.v3 req.Req.r3))
+    reqs
+
+let generate c config ~faults ~primaries ~secondary_pools =
+  let t0 = Sys.time () in
+  let engine = Justify.create c in
+  let rng = Rng.create config.seed in
+  let n = Array.length faults in
+  let detected = Array.make n false in
+  let tried = Array.make n false in
+  let rank = compute_ranks config faults in
+  let by_rank ids =
+    List.sort (fun a b -> Int.compare rank.(a) rank.(b)) ids
+  in
+  let primaries = by_rank primaries in
+  let pools = List.map by_rank secondary_pools in
+  let aborts = ref 0 in
+  let tests = ref [] in
+  (* Try to add candidate [i] to the current test's fault set: free if the
+     test already detects it, otherwise re-justify the enlarged
+     requirement union.  Returns true when accepted. *)
+  (* Attempt to add candidate [i] to the current test's fault set; on
+     acceptance, return the requirement values newly pinned ([Delta]). *)
+  let try_candidate st i =
+    match delta st.acc faults.(i).Fault_sim.reqs with
+    | None -> None
+    | Some (updates, _) ->
+      if Fault_sim.detects_values st.values faults.(i) then begin
+        commit st.acc updates;
+        st.implied <- recompute_implied c st.acc;
+        Some updates
+      end
+      else if contradicts_implied st.implied faults.(i).Fault_sim.reqs then
+        None
+      else begin
+        match Justify.run engine ~rng ~reqs:(reqs_with st.acc updates) with
+        | Some test ->
+          st.test <- test;
+          st.values <- Test_pair.simulate c test;
+          commit st.acc updates;
+          st.implied <- recompute_implied c st.acc;
+          Some updates
+        | None -> None
+      end
+  in
+  let scan_pool_in_order st pool =
+    List.iter
+      (fun i ->
+        if not detected.(i) then ignore (try_candidate st i))
+      pool
+  in
+  (* Value-based scan: repeatedly attempt the candidate adding the fewest
+     new required values.  [n_Delta] is cached per candidate and refreshed
+     through a net -> candidates index only when an acceptance pins new
+     values on one of the candidate's lines, so each pass is linear. *)
+  let scan_pool_value_based st pool =
+    let nf = Array.length faults in
+    let in_pool = Array.make nf false in
+    let nd = Array.make nf max_int in
+    let buckets : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+    let refresh i =
+      match delta st.acc faults.(i).Fault_sim.reqs with
+      | None -> in_pool.(i) <- false (* direct conflict: rejected *)
+      | Some (_, d) -> nd.(i) <- d
+    in
+    List.iter
+      (fun i ->
+        if not detected.(i) then begin
+          in_pool.(i) <- true;
+          refresh i;
+          if in_pool.(i) then
+            List.iter
+              (fun (net, _) ->
+                let ids =
+                  match Hashtbl.find_opt buckets net with
+                  | Some ids -> ids
+                  | None -> []
+                in
+                Hashtbl.replace buckets net (i :: ids))
+              faults.(i).Fault_sim.reqs
+        end)
+      pool;
+    let argmin () =
+      List.fold_left
+        (fun best i ->
+          if not in_pool.(i) then best
+          else
+            match best with
+            | None -> Some i
+            | Some j ->
+              if
+                nd.(i) < nd.(j)
+                || (nd.(i) = nd.(j) && rank.(i) < rank.(j))
+              then Some i
+              else best)
+        None pool
+    in
+    let continue = ref true in
+    while !continue do
+      match argmin () with
+      | None -> continue := false
+      | Some i ->
+        in_pool.(i) <- false;
+        (match try_candidate st i with
+        | None -> ()
+        | Some updates ->
+          List.iter
+            (fun (net, _) ->
+              match Hashtbl.find_opt buckets net with
+              | None -> ()
+              | Some ids ->
+                List.iter (fun j -> if in_pool.(j) then refresh j) ids)
+            updates)
+    done
+  in
+  let next_primary () =
+    List.fold_left
+      (fun acc i ->
+        if detected.(i) || tried.(i) then acc
+        else
+          match acc with
+          | Some j when rank.(j) <= rank.(i) -> acc
+          | Some _ | None -> Some i)
+      None primaries
+  in
+  let running = ref true in
+  while !running do
+    match next_primary () with
+    | None -> running := false
+    | Some p0 ->
+      tried.(p0) <- true;
+      (match Justify.run engine ~rng ~reqs:faults.(p0).Fault_sim.reqs with
+      | None -> incr aborts
+      | Some test ->
+        let st =
+          {
+            test;
+            values = Test_pair.simulate c test;
+            acc = Hashtbl.create 64;
+            implied = [||];
+          }
+        in
+        commit st.acc
+          (match delta st.acc faults.(p0).Fault_sim.reqs with
+          | Some (updates, _) -> updates
+          | None -> assert false);
+        st.implied <- recompute_implied c st.acc;
+        (match config.ordering with
+        | Ordering.Uncompacted -> ()
+        | Ordering.Arbitrary | Ordering.Length_based ->
+          List.iter (fun pool -> scan_pool_in_order st pool) pools
+        | Ordering.Value_based ->
+          List.iter (fun pool -> scan_pool_value_based st pool) pools);
+        tests := st.test :: !tests;
+        (* Fault simulation: drop everything the final test detects. *)
+        Array.iteri
+          (fun i p ->
+            if (not detected.(i)) && Fault_sim.detects_values st.values p
+            then detected.(i) <- true)
+          faults)
+  done;
+  {
+    tests = List.rev !tests;
+    detected;
+    primary_aborts = !aborts;
+    justification_runs = Justify.runs engine;
+    justification_trials = Justify.trials engine;
+    runtime_s = Sys.time () -. t0;
+  }
+
+let basic c config ~faults =
+  let ids = List.init (Array.length faults) (fun i -> i) in
+  let pools =
+    match config.ordering with
+    | Ordering.Uncompacted -> []
+    | Ordering.Arbitrary | Ordering.Length_based | Ordering.Value_based ->
+      [ ids ]
+  in
+  generate c config ~faults ~primaries:ids ~secondary_pools:pools
+
+let enrich c ~seed ~faults ~p0 ~p1 =
+  generate c
+    { ordering = Ordering.Value_based; seed }
+    ~faults ~primaries:p0 ~secondary_pools:[ p0; p1 ]
+
+let enrich_multi c ~seed ~faults ~pools =
+  match pools with
+  | [] -> invalid_arg "Atpg.enrich_multi: no pools"
+  | first :: _ ->
+    generate c
+      { ordering = Ordering.Value_based; seed }
+      ~faults ~primaries:first ~secondary_pools:pools
+
+let count_detected result ~ids =
+  List.fold_left
+    (fun acc i -> if result.detected.(i) then acc + 1 else acc)
+    0 ids

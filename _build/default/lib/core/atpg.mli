@@ -1,0 +1,75 @@
+(** Test generation with primary and secondary target faults
+    (paper, Sections 2.2 and 3.2).
+
+    The engine is generic over one pool of primary target faults and an
+    ordered list of secondary pools.  Each test starts from a primary
+    target; secondary candidates are then scanned pool by pool — a
+    candidate joins the test's fault set [P(t)] when a test detecting all
+    of [P(t)] plus the candidate can be (re-)justified.  A candidate is
+    accepted for free when the current test already detects it; it is
+    rejected without search when its conditions conflict directly with
+    the accumulated requirements.  After each test, fault simulation drops
+    every fault the test detects accidentally.
+
+    - The {e basic} procedure of the paper uses a single set [P0] for both
+      roles (or no secondary pool at all for the uncompacted baseline).
+    - The {e enrichment} procedure uses primaries from [P0] and secondary
+      pools [P0] then [P1]: [P1] faults are only targeted with values left
+      over after [P0], so the test count is fixed by [P0] alone. *)
+
+type config = {
+  ordering : Ordering.t;
+  seed : int;
+}
+
+type result = {
+  tests : Test_pair.t list;  (** in generation order *)
+  detected : bool array;  (** over all prepared fault ids *)
+  primary_aborts : int;
+      (** primaries for which justification found no test *)
+  justification_runs : int;
+  justification_trials : int;
+  runtime_s : float;  (** CPU seconds ([Sys.time]) *)
+}
+
+val generate :
+  Pdf_circuit.Circuit.t ->
+  config ->
+  faults:Fault_sim.prepared array ->
+  primaries:int list ->
+  secondary_pools:int list list ->
+  result
+(** Fault ids in [primaries] and the pools index into [faults]. *)
+
+val basic :
+  Pdf_circuit.Circuit.t ->
+  config ->
+  faults:Fault_sim.prepared array ->
+  result
+(** Single-set procedure over all of [faults]; {!Ordering.Uncompacted}
+    uses no secondary pool. *)
+
+val enrich :
+  Pdf_circuit.Circuit.t ->
+  seed:int ->
+  faults:Fault_sim.prepared array ->
+  p0:int list ->
+  p1:int list ->
+  result
+(** The proposed enrichment procedure (value-based ordering, as selected
+    in the paper). *)
+
+val enrich_multi :
+  Pdf_circuit.Circuit.t ->
+  seed:int ->
+  faults:Fault_sim.prepared array ->
+  pools:int list list ->
+  result
+(** Enrichment with more than two target sets (paper, end of Sec. 3.1):
+    primaries come from the first pool only; secondary candidates are
+    scanned pool by pool in the given order, so later pools only consume
+    the flexibility left by earlier ones.  [enrich] is the two-pool
+    special case.  Raises [Invalid_argument] on an empty pool list. *)
+
+val count_detected : result -> ids:int list -> int
+(** Detected faults within an id subset (e.g. only [P1]). *)

@@ -1,0 +1,79 @@
+type bucket = { length : int; total : int; detected : int }
+
+type t = { buckets : bucket list; total : int; detected : int }
+
+let of_flags (faults : Fault_sim.prepared array) flags =
+  if Array.length faults <> Array.length flags then
+    invalid_arg "Coverage.of_flags: length mismatch";
+  let tbl = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (p : Fault_sim.prepared) ->
+      let total, detected =
+        match Hashtbl.find_opt tbl p.Fault_sim.length with
+        | Some (t, d) -> (t, d)
+        | None -> (0, 0)
+      in
+      Hashtbl.replace tbl p.Fault_sim.length
+        (total + 1, if flags.(i) then detected + 1 else detected))
+    faults;
+  let buckets =
+    Hashtbl.fold
+      (fun length (total, detected) acc -> { length; total; detected } :: acc)
+      tbl []
+    |> List.sort (fun a b -> Int.compare b.length a.length)
+  in
+  {
+    buckets;
+    total = Array.length faults;
+    detected = Fault_sim.count flags;
+  }
+
+let percentage t =
+  if t.total = 0 then 0.
+  else 100. *. float_of_int t.detected /. float_of_int t.total
+
+let to_table ?(label = "detected") t =
+  let open Pdf_util.Table in
+  let table =
+    create [ ("length", Right); ("faults", Right); (label, Right) ]
+  in
+  List.iter
+    (fun b ->
+      add_row table
+        [ string_of_int b.length; string_of_int b.total;
+          string_of_int b.detected ])
+    t.buckets;
+  add_row table
+    [ "all"; string_of_int t.total; string_of_int t.detected ];
+  table
+
+let comparison_table ~labels results =
+  if List.length labels <> List.length results then
+    invalid_arg "Coverage.comparison_table: labels/results mismatch";
+  let open Pdf_util.Table in
+  let table =
+    create
+      (("length", Right) :: ("faults", Right)
+      :: List.map (fun l -> (l, Right)) labels)
+  in
+  let lengths =
+    match results with
+    | [] -> []
+    | first :: _ -> List.map (fun b -> (b.length, b.total)) first.buckets
+  in
+  let detected_at result length =
+    match List.find_opt (fun b -> b.length = length) result.buckets with
+    | Some b -> string_of_int b.detected
+    | None -> "-"
+  in
+  List.iter
+    (fun (length, total) ->
+      add_row table
+        (string_of_int length :: string_of_int total
+        :: List.map (fun r -> detected_at r length) results))
+    lengths;
+  add_row table
+    ("all"
+    :: (match results with r :: _ -> string_of_int r.total | [] -> "0")
+    :: List.map (fun r -> string_of_int r.detected) results);
+  table

@@ -1,0 +1,32 @@
+(** Coverage accounting and reporting.
+
+    Summarises a detection flag vector (from {!Atpg} or {!Fault_sim})
+    per path-length, the axis that matters for delay-test quality: the
+    enrichment procedure's benefit shows up as higher coverage on the
+    next-to-longest lengths. *)
+
+type bucket = {
+  length : int;
+  total : int;
+  detected : int;
+}
+
+type t = {
+  buckets : bucket list;  (** longest first *)
+  total : int;
+  detected : int;
+}
+
+val of_flags : Fault_sim.prepared array -> bool array -> t
+(** Group by exact path length. *)
+
+val percentage : t -> float
+(** Overall detected/total in percent (0 when the fault set is empty). *)
+
+val to_table : ?label:string -> t -> Pdf_util.Table.t
+(** Render one coverage column. *)
+
+val comparison_table :
+  labels:string list -> t list -> Pdf_util.Table.t
+(** Render several coverage results side by side (same fault universe);
+    used to contrast basic vs enriched coverage per length. *)

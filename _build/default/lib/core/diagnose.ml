@@ -1,0 +1,82 @@
+module Robust = Pdf_faults.Robust
+
+type verdict = {
+  fault_id : int;
+  explained : int;
+  maybe_explained : int;
+  unexplained : int;
+}
+
+let dictionary c tests faults =
+  List.map (fun t -> Fault_sim.detected_by_test c t faults) tests
+  |> Array.of_list
+
+(* The weak dictionary: non-robust sensitization of the same faults. *)
+let weak_dictionary c tests (faults : Fault_sim.prepared array) =
+  let weak_reqs =
+    Array.map
+      (fun (p : Fault_sim.prepared) ->
+        Robust.conditions ~criterion:Robust.Non_robust c
+          p.Fault_sim.fault)
+      faults
+  in
+  List.map
+    (fun t ->
+      let values = Test_pair.simulate c t in
+      Array.map
+        (fun reqs ->
+          match reqs with
+          | None -> false
+          | Some reqs ->
+            List.for_all
+              (fun (net, req) ->
+                Pdf_values.Req.satisfied_by values.(net) req)
+              reqs)
+        weak_reqs)
+    tests
+  |> Array.of_list
+
+let diagnose c tests faults ~observed =
+  if List.length observed <> List.length tests then
+    invalid_arg "Diagnose.diagnose: observed/test length mismatch";
+  let strong = dictionary c tests faults in
+  let weak = weak_dictionary c tests faults in
+  let observed = Array.of_list observed in
+  let num_failures =
+    Array.fold_left (fun a f -> if f then a + 1 else a) 0 observed
+  in
+  let verdicts = ref [] in
+  Array.iteri
+    (fun fault_id _ ->
+      let eliminated = ref false in
+      let explained = ref 0 and maybe = ref 0 in
+      Array.iteri
+        (fun t failed ->
+          if strong.(t).(fault_id) then
+            if failed then begin
+              incr explained;
+              incr maybe
+            end
+            else eliminated := true
+          else if weak.(t).(fault_id) && failed then incr maybe)
+        observed;
+      if (not !eliminated) && (num_failures = 0 || !maybe > 0) then
+        verdicts :=
+          {
+            fault_id;
+            explained = !explained;
+            maybe_explained = !maybe;
+            unexplained = num_failures - !maybe;
+          }
+          :: !verdicts)
+    faults;
+  List.sort
+    (fun a b ->
+      if a.maybe_explained <> b.maybe_explained then
+        Int.compare b.maybe_explained a.maybe_explained
+      else if a.unexplained <> b.unexplained then
+        Int.compare a.unexplained b.unexplained
+      else if a.explained <> b.explained then
+        Int.compare b.explained a.explained
+      else Int.compare a.fault_id b.fault_id)
+    !verdicts

@@ -1,0 +1,47 @@
+(** Path-delay fault diagnosis from pass/fail signatures.
+
+    Given the applied two-pattern test set and the observed per-test
+    pass/fail outcome of a failing device, rank the target faults by how
+    well they explain the signature.  Two dictionaries are used:
+
+    - {e robust} detection: if the device contains fault [f] (with delay
+      large enough to violate the period) then every test that robustly
+      detects [f] {e must} fail — a passing test therefore eliminates all
+      faults it robustly detects;
+    - {e non-robust} sensitization: a failing test non-robustly
+      sensitizing [f] {e may} be failing because of [f] — it counts as a
+      (weak) explanation.
+
+    Candidates are ranked by how many observed failures they explain at
+    least weakly, then by unexplained failures, then by strong (robust)
+    explanations. *)
+
+type verdict = {
+  fault_id : int;
+  explained : int;  (** failing tests robustly accounted for *)
+  maybe_explained : int;
+      (** failing tests accounted for at least non-robustly (includes
+          [explained]) *)
+  unexplained : int;  (** failing tests not accounted for at all *)
+}
+
+val dictionary :
+  Pdf_circuit.Circuit.t ->
+  Test_pair.t list ->
+  Fault_sim.prepared array ->
+  bool array array
+(** [dictionary c tests faults] — [(List.length tests) x (faults)] robust
+    detection matrix. *)
+
+val diagnose :
+  Pdf_circuit.Circuit.t ->
+  Test_pair.t list ->
+  Fault_sim.prepared array ->
+  observed:bool list ->
+  verdict list
+(** [observed] gives one Boolean per test, [true] = the device FAILED the
+    test.  Returns the surviving candidates, best first.  Faults
+    contradicted by a passing robust test are excluded, as are faults
+    explaining nothing when there are failures.  Raises
+    [Invalid_argument] if [observed] and the test set disagree in
+    length. *)

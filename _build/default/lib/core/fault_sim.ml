@@ -1,0 +1,48 @@
+module Req = Pdf_values.Req
+module Fault = Pdf_faults.Fault
+module Robust = Pdf_faults.Robust
+module Target_sets = Pdf_faults.Target_sets
+
+type prepared = {
+  id : int;
+  fault : Fault.t;
+  length : int;
+  reqs : (int * Req.t) list;
+}
+
+let prepare ?(criterion = Robust.Robust) c entries =
+  let prepared =
+    List.filter_map
+      (fun (e : Target_sets.entry) ->
+        match Robust.conditions ~criterion c e.Target_sets.fault with
+        | Some reqs ->
+          Some (fun id ->
+              { id; fault = e.Target_sets.fault; length = e.Target_sets.length;
+                reqs })
+        | None -> None)
+      entries
+  in
+  Array.of_list (List.mapi (fun id make -> make id) prepared)
+
+let detects_values values p =
+  List.for_all (fun (net, req) -> Req.satisfied_by values.(net) req) p.reqs
+
+let detected_by_test c test faults =
+  let values = Test_pair.simulate c test in
+  Array.map (fun p -> detects_values values p) faults
+
+let detected_by_tests c tests faults =
+  let detected = Array.make (Array.length faults) false in
+  List.iter
+    (fun test ->
+      let values = Test_pair.simulate c test in
+      Array.iteri
+        (fun i p ->
+          if (not detected.(i)) && detects_values values p then
+            detected.(i) <- true)
+        faults)
+    tests;
+  detected
+
+let count detected =
+  Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 detected

@@ -1,0 +1,35 @@
+(** Robust fault simulation for path delay faults.
+
+    A two-pattern test robustly detects a fault iff the simulated line
+    values satisfy the fault's condition set [A(p)] — detection checking
+    is therefore a per-fault scan over one whole-circuit simulation. *)
+
+type prepared = {
+  id : int;
+  fault : Pdf_faults.Fault.t;
+  length : int;  (** path length under the experiment's delay model *)
+  reqs : (int * Pdf_values.Req.t) list;  (** merged [A(p)] *)
+}
+
+val prepare :
+  ?criterion:Pdf_faults.Robust.criterion ->
+  Pdf_circuit.Circuit.t ->
+  Pdf_faults.Target_sets.entry list ->
+  prepared array
+(** Precompute merged conditions; ids are array indices.  Entries whose
+    conditions conflict directly (undetectable) are dropped — {!Pdf_faults.Target_sets}
+    already filters them, so this is normally the identity. *)
+
+val detects_values :
+  Pdf_values.Triple.t array -> prepared -> bool
+(** Check one fault against an existing simulation result. *)
+
+val detected_by_test :
+  Pdf_circuit.Circuit.t -> Test_pair.t -> prepared array -> bool array
+(** One simulation, then all faults checked. *)
+
+val detected_by_tests :
+  Pdf_circuit.Circuit.t -> Test_pair.t list -> prepared array -> bool array
+(** Union over a whole test set. *)
+
+val count : bool array -> int

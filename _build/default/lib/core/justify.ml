@@ -1,0 +1,443 @@
+module Bit = Pdf_values.Bit
+module Req = Pdf_values.Req
+module Circuit = Pdf_circuit.Circuit
+module Gate = Pdf_circuit.Gate
+module Rng = Pdf_util.Rng
+module Two_pattern = Pdf_sim.Two_pattern
+
+type t = {
+  circuit : Circuit.t;
+  mutable runs : int;
+  mutable trials : int;
+}
+
+let create circuit = { circuit; runs = 0; trials = 0 }
+
+let runs t = t.runs
+
+let trials t = t.trials
+
+exception No_test
+
+(* Component indices: 0 = first pattern, 1 = intermediate, 2 = second. *)
+let comp_of_pattern = function 1 -> 0 | 3 -> 2 | _ -> invalid_arg "pattern"
+
+type search = {
+  c : Circuit.t;
+  rng : Rng.t;
+  r : Bit.t array array; (* requirements, 3 x nets; X = unconstrained *)
+  req_nets : int array;
+  cone_gates : int array; (* ascending gate indices, topological *)
+  cone_pis : int array;
+  a1 : Bit.t array; (* per PI *)
+  a3 : Bit.t array;
+  s : Bit.t array array; (* persistent simulation, 3 x nets *)
+  tval : Bit.t array array; (* trial overlay *)
+  tstamp : int array array;
+  mutable trial_id : int;
+  mutable unspecified : int;
+}
+
+let mismatch req value =
+  match req, value with
+  | (Bit.Zero | Bit.One), (Bit.Zero | Bit.One) -> not (Bit.equal req value)
+  | (Bit.Zero | Bit.One | Bit.X), (Bit.Zero | Bit.One | Bit.X) -> false
+
+let eval_gate_get (g : Circuit.gate) get =
+  let fanins = g.Circuit.fanins in
+  match g.Circuit.kind with
+  | Gate.Not -> Bit.not_ (get fanins.(0))
+  | Gate.Buff -> get fanins.(0)
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    let op =
+      match g.Circuit.kind with
+      | Gate.And | Gate.Nand -> Bit.and_
+      | Gate.Or | Gate.Nor -> Bit.or_
+      | Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buff -> Bit.xor
+    in
+    let acc = ref (get fanins.(0)) in
+    for i = 1 to Array.length fanins - 1 do
+      acc := op !acc (get fanins.(i))
+    done;
+    if Gate.inverting g.Circuit.kind then Bit.not_ !acc else !acc
+
+(* Fan-in cone of the requirement nets: only these gates can influence a
+   requirement, and only these PIs are worth searching. *)
+let compute_cone c req_nets =
+  let n = Circuit.num_nets c in
+  let in_cone = Array.make n false in
+  let rec visit net =
+    if not in_cone.(net) then begin
+      in_cone.(net) <- true;
+      match Circuit.gate_of_net c net with
+      | None -> ()
+      | Some g -> Array.iter visit (c : Circuit.t).gates.(g).Circuit.fanins
+    end
+  in
+  Array.iter visit req_nets;
+  let cone_gates = ref [] in
+  for g = Circuit.num_gates c - 1 downto 0 do
+    if in_cone.(Circuit.net_of_gate c g) then cone_gates := g :: !cone_gates
+  done;
+  let cone_pis = ref [] in
+  for pi = c.Circuit.num_pis - 1 downto 0 do
+    if in_cone.(pi) then cone_pis := pi :: !cone_pis
+  done;
+  (Array.of_list !cone_gates, Array.of_list !cone_pis)
+
+let resim st =
+  let middle = Two_pattern.middle_of_pair in
+  Array.iter
+    (fun pi ->
+      st.s.(0).(pi) <- st.a1.(pi);
+      st.s.(2).(pi) <- st.a3.(pi);
+      st.s.(1).(pi) <- middle st.a1.(pi) st.a3.(pi))
+    st.cone_pis;
+  Array.iter
+    (fun gi ->
+      let g = st.c.Circuit.gates.(gi) in
+      let out = Circuit.net_of_gate st.c gi in
+      for k = 0 to 2 do
+        st.s.(k).(out) <- eval_gate_get g (fun net -> st.s.(k).(net))
+      done)
+    st.cone_gates
+
+let conflict_now st =
+  Array.exists
+    (fun net ->
+      mismatch st.r.(0).(net) st.s.(0).(net)
+      || mismatch st.r.(1).(net) st.s.(1).(net)
+      || mismatch st.r.(2).(net) st.s.(2).(net))
+    st.req_nets
+
+let satisfied_now st =
+  let ok k net =
+    match st.r.(k).(net) with
+    | Bit.X -> true
+    | (Bit.Zero | Bit.One) as v -> Bit.equal st.s.(k).(net) v
+  in
+  Array.for_all (fun net -> ok 0 net && ok 1 net && ok 2 net) st.req_nets
+
+exception Trial_conflict
+
+(* Trial-assign pattern bit [j] of PI [pi] to [b] and propagate through the
+   cone using an overlay (values stamped with the trial id); any definite
+   value contradicting a requirement aborts with a conflict.  The
+   persistent state is untouched. *)
+let trial engine st pi j b =
+  engine.trials <- engine.trials + 1;
+  st.trial_id <- st.trial_id + 1;
+  let id = st.trial_id in
+  let read k net =
+    if st.tstamp.(k).(net) = id then st.tval.(k).(net) else st.s.(k).(net)
+  in
+  let write k net v =
+    st.tval.(k).(net) <- v;
+    st.tstamp.(k).(net) <- id;
+    if mismatch st.r.(k).(net) v then raise Trial_conflict
+  in
+  let kj = comp_of_pattern j in
+  try
+    let newv = Bit.of_bool b in
+    if not (Bit.equal st.s.(kj).(pi) newv) then write kj pi newv;
+    let b1 = if j = 1 then newv else st.a1.(pi) in
+    let b3 = if j = 3 then newv else st.a3.(pi) in
+    let mid = Two_pattern.middle_of_pair b1 b3 in
+    if not (Bit.equal st.s.(1).(pi) mid) then write 1 pi mid;
+    let propagate k =
+      Array.iter
+        (fun gi ->
+          let g = st.c.Circuit.gates.(gi) in
+          let touched =
+            Array.exists
+              (fun fanin -> st.tstamp.(k).(fanin) = id)
+              g.Circuit.fanins
+          in
+          if touched then begin
+            let out = Circuit.net_of_gate st.c gi in
+            let v = eval_gate_get g (read k) in
+            if not (Bit.equal v st.s.(k).(out)) then write k out v
+          end)
+        st.cone_gates
+    in
+    propagate kj;
+    propagate 1;
+    false
+  with Trial_conflict -> true
+
+let assign st pi j b =
+  (match j with
+  | 1 -> st.a1.(pi) <- Bit.of_bool b
+  | 3 -> st.a3.(pi) <- Bit.of_bool b
+  | _ -> invalid_arg "pattern");
+  st.unspecified <- st.unspecified - 1;
+  resim st;
+  if conflict_now st then raise No_test
+
+(* One pass over all unspecified cone bits, excluding values whose trial
+   conflicts; repeated until no new value is assigned. *)
+let necessary_values engine st =
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    Array.iter
+      (fun pi ->
+        List.iter
+          (fun j ->
+            let current = if j = 1 then st.a1.(pi) else st.a3.(pi) in
+            if Bit.equal current Bit.X then begin
+              let c0 = trial engine st pi j false in
+              let c1 = trial engine st pi j true in
+              if c0 && c1 then raise No_test
+              else if c0 then begin
+                assign st pi j true;
+                continue := true
+              end
+              else if c1 then begin
+                assign st pi j false;
+                continue := true
+              end
+            end)
+          [ 1; 3 ])
+      st.cone_pis
+  done
+
+(* Decision step: prefer making a half-specified input stable (the paper's
+   rule), otherwise specify a random unspecified bit randomly. *)
+let decide st =
+  let half_specified =
+    Array.to_list st.cone_pis
+    |> List.find_opt (fun pi ->
+           Bit.is_definite st.a1.(pi) <> Bit.is_definite st.a3.(pi))
+  in
+  match half_specified with
+  | Some pi ->
+    if Bit.is_definite st.a1.(pi) then
+      assign st pi 3 (Bit.equal st.a1.(pi) Bit.One)
+    else assign st pi 1 (Bit.equal st.a3.(pi) Bit.One)
+  | None ->
+    let unspecified =
+      Array.to_list st.cone_pis
+      |> List.concat_map (fun pi ->
+             let open_bits = ref [] in
+             if Bit.equal st.a1.(pi) Bit.X then open_bits := (pi, 1) :: !open_bits;
+             if Bit.equal st.a3.(pi) Bit.X then open_bits := (pi, 3) :: !open_bits;
+             !open_bits)
+    in
+    (match unspecified with
+    | [] -> ()
+    | bits ->
+      let pi, j = List.nth bits (Rng.int st.rng (List.length bits)) in
+      assign st pi j (Rng.bool st.rng))
+
+let merge_reqs reqs =
+  let acc = Hashtbl.create 16 in
+  let ok =
+    List.for_all
+      (fun (net, req) ->
+        let current =
+          match Hashtbl.find_opt acc net with Some r -> r | None -> Req.any
+        in
+        match Req.merge current req with
+        | Some merged ->
+          Hashtbl.replace acc net merged;
+          true
+        | None -> false)
+      reqs
+  in
+  if ok then Some (Hashtbl.fold (fun net req l -> (net, req) :: l) acc [])
+  else None
+
+let random_pattern rng n = Array.init n (fun _ -> Rng.bool rng)
+
+let build_test st =
+  let m = st.c.Circuit.num_pis in
+  let v1 = random_pattern st.rng m and v3 = random_pattern st.rng m in
+  Array.iter
+    (fun pi ->
+      (match Bit.to_bool st.a1.(pi) with
+      | Some b -> v1.(pi) <- b
+      | None -> assert false);
+      match Bit.to_bool st.a3.(pi) with
+      | Some b -> v3.(pi) <- b
+      | None -> assert false)
+    st.cone_pis;
+  Test_pair.create v1 v3
+
+(* Shared state construction for both search strategies. *)
+let make_search c rng merged =
+  let n = Circuit.num_nets c in
+  let req_nets = Array.of_list (List.map fst merged) in
+  let r = Array.init 3 (fun _ -> Array.make n Bit.X) in
+  List.iter
+    (fun (net, (req : Req.t)) ->
+      let comp_bit = function
+        | Req.Any -> Bit.X
+        | Req.Must b -> Bit.of_bool b
+      in
+      r.(0).(net) <- comp_bit req.Req.r1;
+      r.(1).(net) <- comp_bit req.Req.r2;
+      r.(2).(net) <- comp_bit req.Req.r3)
+    merged;
+  let cone_gates, cone_pis = compute_cone c req_nets in
+  {
+    c;
+    rng;
+    r;
+    req_nets;
+    cone_gates;
+    cone_pis;
+    a1 = Array.make c.Circuit.num_pis Bit.X;
+    a3 = Array.make c.Circuit.num_pis Bit.X;
+    s = Array.init 3 (fun _ -> Array.make n Bit.X);
+    tval = Array.init 3 (fun _ -> Array.make n Bit.X);
+    tstamp = Array.init 3 (fun _ -> Array.make n 0);
+    trial_id = 0;
+    unspecified = 2 * Array.length cone_pis;
+  }
+
+type complete_outcome =
+  | Found of Test_pair.t
+  | Proved_unsatisfiable
+  | Gave_up
+
+exception Budget_exhausted
+
+(* Deterministic branch-and-bound search over the cone input bits. *)
+let run_complete ?(max_backtracks = 10_000) engine ~reqs =
+  engine.runs <- engine.runs + 1;
+  let c = engine.circuit in
+  match merge_reqs reqs with
+  | None -> Proved_unsatisfiable
+  | Some [] ->
+    Found
+      (Test_pair.create
+         (Array.make c.Circuit.num_pis false)
+         (Array.make c.Circuit.num_pis false))
+  | Some merged -> (
+    (* The rng is never consulted: decisions are deterministic and
+       non-cone bits are filled with zeros. *)
+    let st = make_search c (Rng.create 0) merged in
+    let backtracks = ref 0 in
+    let snapshot () = (Array.copy st.a1, Array.copy st.a3, st.unspecified) in
+    let restore (a1, a3, unspecified) =
+      Array.blit a1 0 st.a1 0 (Array.length a1);
+      Array.blit a3 0 st.a3 0 (Array.length a3);
+      st.unspecified <- unspecified;
+      resim st
+    in
+    let spend () =
+      incr backtracks;
+      if !backtracks > max_backtracks then raise Budget_exhausted
+    in
+    (* The paper's decision preference, made deterministic: stabilise a
+       half-specified input first (copy value, then its complement), else
+       take the first open bit with 0 before 1. *)
+    let next_decision () =
+      let half =
+        Array.to_list st.cone_pis
+        |> List.find_opt (fun pi ->
+               Bit.is_definite st.a1.(pi) <> Bit.is_definite st.a3.(pi))
+      in
+      match half with
+      | Some pi ->
+        if Bit.is_definite st.a1.(pi) then
+          let b = Bit.equal st.a1.(pi) Bit.One in
+          Some (pi, 3, [ b; not b ])
+        else
+          let b = Bit.equal st.a3.(pi) Bit.One in
+          Some (pi, 1, [ b; not b ])
+      | None ->
+        Array.to_list st.cone_pis
+        |> List.find_map (fun pi ->
+               if Bit.equal st.a1.(pi) Bit.X then Some (pi, 1, [ false; true ])
+               else if Bit.equal st.a3.(pi) Bit.X then
+                 Some (pi, 3, [ false; true ])
+               else None)
+    in
+    let build_deterministic_test () =
+      let m = st.c.Circuit.num_pis in
+      let v1 = Array.make m false and v3 = Array.make m false in
+      Array.iter
+        (fun pi ->
+          (match Bit.to_bool st.a1.(pi) with
+          | Some b -> v1.(pi) <- b
+          | None -> assert false);
+          match Bit.to_bool st.a3.(pi) with
+          | Some b -> v3.(pi) <- b
+          | None -> assert false)
+        st.cone_pis;
+      Test_pair.create v1 v3
+    in
+    (* DFS: returns Some test on success, None when this subtree is
+       refuted. *)
+    let rec solve () =
+      match
+        (try
+           necessary_values engine st;
+           `Ok
+         with No_test -> `Conflict)
+      with
+      | `Conflict -> None
+      | `Ok -> (
+        if st.unspecified = 0 then
+          if satisfied_now st then Some (build_deterministic_test ())
+          else None
+        else
+          match next_decision () with
+          | None -> None
+          | Some (pi, j, values) ->
+            let saved = snapshot () in
+            let rec try_values = function
+              | [] -> None
+              | b :: rest -> (
+                match
+                  (try
+                     assign st pi j b;
+                     `Ok
+                   with No_test -> `Conflict)
+                with
+                | `Conflict ->
+                  spend ();
+                  restore saved;
+                  try_values rest
+                | `Ok -> (
+                  match solve () with
+                  | Some test -> Some test
+                  | None ->
+                    spend ();
+                    restore saved;
+                    try_values rest))
+            in
+            try_values values)
+    in
+    try
+      resim st;
+      if conflict_now st then Proved_unsatisfiable
+      else
+        match solve () with
+        | Some test -> Found test
+        | None -> Proved_unsatisfiable
+    with Budget_exhausted -> Gave_up)
+
+let run engine ~rng ~reqs =
+  engine.runs <- engine.runs + 1;
+  let c = engine.circuit in
+  match merge_reqs reqs with
+  | None -> None
+  | Some [] ->
+    Some
+      (Test_pair.create
+         (random_pattern rng c.Circuit.num_pis)
+         (random_pattern rng c.Circuit.num_pis))
+  | Some merged ->
+    let st = make_search c rng merged in
+    (try
+       resim st;
+       if conflict_now st then raise No_test;
+       while st.unspecified > 0 do
+         necessary_values engine st;
+         if st.unspecified > 0 then decide st
+       done;
+       if satisfied_now st then Some (build_test st) else None
+     with No_test -> None)

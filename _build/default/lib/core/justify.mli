@@ -1,0 +1,61 @@
+(** Simulation-based justification (paper, Section 2.1).
+
+    Given a set of required line values — the union of the [A(p)] of the
+    faults a test under construction must detect — the engine searches for
+    a fully specified two-pattern test that assigns all of them:
+
+    + every primary-input bit starts unspecified;
+    + {e necessary values}: for each unspecified input bit, both values are
+      tried by simulation; a value whose implication contradicts a
+      requirement is excluded, and if both are excluded the search fails;
+    + when no more necessary values exist, a {e decision} is made — an
+      input with exactly one specified pattern bit is made stable at it,
+      otherwise a random unspecified bit gets a random value;
+    + on full specification the requirements are checked exactly (a pinned
+      intermediate value must simulate to that definite value — a
+      potential glitch fails the check).
+
+    Only inputs in the fan-in cone of the required lines are searched;
+    the remaining inputs cannot affect any requirement and are filled
+    randomly (equivalent to the paper's random decisions on them). *)
+
+type t
+
+val create : Pdf_circuit.Circuit.t -> t
+
+val run :
+  t ->
+  rng:Pdf_util.Rng.t ->
+  reqs:(int * Pdf_values.Req.t) list ->
+  Test_pair.t option
+(** [run engine ~rng ~reqs] — [None] when a conflict is met or the final
+    check fails.  [reqs] may list a net several times; entries are merged
+    first (a direct conflict fails immediately). *)
+
+val runs : t -> int
+(** Number of [run] invocations so far (for run-time accounting). *)
+
+val trials : t -> int
+(** Total trial simulations performed (effort metric). *)
+
+(** {2 Complete search}
+
+    The paper notes that the coverage variations caused by random value
+    selection "can be eliminated by using a branch-and-bound procedure
+    instead of a simulation-based procedure for justification".  This is
+    that procedure: the same necessary-value machinery, but decisions are
+    explored depth-first with backtracking, deterministically. *)
+
+type complete_outcome =
+  | Found of Test_pair.t
+  | Proved_unsatisfiable  (** the whole decision tree was refuted *)
+  | Gave_up  (** backtrack budget exhausted *)
+
+val run_complete :
+  ?max_backtracks:int ->
+  t ->
+  reqs:(int * Pdf_values.Req.t) list ->
+  complete_outcome
+(** Deterministic branch-and-bound justification.  Default budget is
+    10000 backtracks.  Unsearched inputs (outside the requirement cone)
+    are filled with zeros. *)

@@ -1,0 +1,17 @@
+type t = Uncompacted | Arbitrary | Length_based | Value_based
+
+let name = function
+  | Uncompacted -> "uncomp"
+  | Arbitrary -> "arbit"
+  | Length_based -> "length"
+  | Value_based -> "values"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "uncomp" | "uncompacted" -> Some Uncompacted
+  | "arbit" | "arbitrary" -> Some Arbitrary
+  | "length" | "length-based" -> Some Length_based
+  | "values" | "value-based" -> Some Value_based
+  | _ -> None
+
+let all = [ Uncompacted; Arbitrary; Length_based; Value_based ]

@@ -1,0 +1,21 @@
+(** Compaction heuristics for primary/secondary target-fault selection
+    (paper, Section 2.2). *)
+
+type t =
+  | Uncompacted
+      (** one test per primary target fault, no secondary targets *)
+  | Arbitrary  (** fault-list order for primaries and secondaries *)
+  | Length_based
+      (** longest-path-first for primaries and secondaries *)
+  | Value_based
+      (** longest-path-first primaries; secondaries minimise the number of
+          new required values [n_Delta] *)
+
+val name : t -> string
+(** The paper's column labels: ["uncomp"], ["arbit"], ["length"],
+    ["values"]. *)
+
+val of_name : string -> t option
+
+val all : t list
+(** In the paper's column order. *)

@@ -1,0 +1,53 @@
+module Bit = Pdf_values.Bit
+module Two_pattern = Pdf_sim.Two_pattern
+
+type relaxed = {
+  v1 : Bit.t array;
+  v3 : Bit.t array;
+  freed : int;
+}
+
+let pairs_of v1 v3 =
+  Array.init (Array.length v1) (fun i ->
+      { Two_pattern.b1 = v1.(i); b3 = v3.(i) })
+
+let relax c (test : Test_pair.t) ~keep =
+  let v1 = Array.map Bit.of_bool test.Test_pair.v1 in
+  let v3 = Array.map Bit.of_bool test.Test_pair.v3 in
+  let satisfied_sets values =
+    List.map (fun reqs -> Two_pattern.satisfies values reqs) keep
+  in
+  (* Only preserve what the original test actually achieves. *)
+  let baseline = satisfied_sets (Two_pattern.simulate c (pairs_of v1 v3)) in
+  let still_fine values =
+    List.for_all2
+      (fun was is -> (not was) || is)
+      baseline
+      (satisfied_sets values)
+  in
+  let freed = ref 0 in
+  for i = 0 to Array.length v1 - 1 do
+    List.iter
+      (fun pattern ->
+        let arr = if pattern = 1 then v1 else v3 in
+        let saved = arr.(i) in
+        arr.(i) <- Bit.X;
+        let values = Two_pattern.simulate c (pairs_of v1 v3) in
+        if still_fine values then incr freed else arr.(i) <- saved)
+      [ 1; 3 ]
+  done;
+  { v1; v3; freed = !freed }
+
+let completion r ~fill =
+  let concrete arr =
+    Array.map
+      (fun b -> match Bit.to_bool b with Some v -> v | None -> fill)
+      arr
+  in
+  Test_pair.create (concrete r.v1) (concrete r.v3)
+
+let specified_bits r =
+  let count arr =
+    Array.fold_left (fun a b -> if Bit.is_definite b then a + 1 else a) 0 arr
+  in
+  count r.v1 + count r.v3

@@ -1,0 +1,30 @@
+(** Test relaxation: turn specified input bits back into don't-cares.
+
+    The justification engine emits fully specified two-pattern tests; for
+    low-power test application or opportunistic merging it is useful to
+    know which bits actually matter.  [relax] greedily replaces bits with
+    [X] while the test still {e provably} detects all the given faults —
+    provably, because three-valued simulation is monotone: if the partial
+    test satisfies a requirement set with definite values, then so does
+    every completion of it. *)
+
+type relaxed = {
+  v1 : Pdf_values.Bit.t array;
+  v3 : Pdf_values.Bit.t array;
+  freed : int;  (** bits turned into don't-cares *)
+}
+
+val relax :
+  Pdf_circuit.Circuit.t ->
+  Test_pair.t ->
+  keep:(int * Pdf_values.Req.t) list list ->
+  relaxed
+(** [keep] lists the condition sets (one per fault) the relaxed test must
+    go on satisfying; bits are scanned in a fixed order, so the result is
+    deterministic.  If the original test does not satisfy some set in
+    [keep], that set is ignored (it cannot be preserved). *)
+
+val completion : relaxed -> fill:bool -> Test_pair.t
+(** Replace every don't-care with [fill]. *)
+
+val specified_bits : relaxed -> int

@@ -1,0 +1,62 @@
+let detection_rows c faults tests =
+  List.map (fun t -> Fault_sim.detected_by_test c t faults) tests
+
+let reverse_order c faults tests =
+  let rows = detection_rows c faults tests in
+  let n = Array.length faults in
+  let covered = Array.make n false in
+  let kept_rev =
+    List.fold_left
+      (fun kept (test, row) ->
+        let useful = ref false in
+        Array.iteri
+          (fun i d -> if d && not covered.(i) then useful := true)
+          row;
+        if !useful then begin
+          Array.iteri (fun i d -> if d then covered.(i) <- true) row;
+          (test, row) :: kept
+        end
+        else kept)
+      []
+      (List.rev (List.combine tests rows))
+  in
+  List.map fst kept_rev
+
+let greedy_cover c faults tests =
+  let rows = Array.of_list (detection_rows c faults tests) in
+  let tests_arr = Array.of_list tests in
+  let n = Array.length faults in
+  let covered = Array.make n false in
+  let used = Array.make (Array.length tests_arr) false in
+  let gain row =
+    let g = ref 0 in
+    Array.iteri (fun i d -> if d && not covered.(i) then incr g) row;
+    !g
+  in
+  let kept = ref [] in
+  let continue = ref true in
+  while !continue do
+    let best = ref (-1) and best_gain = ref 0 in
+    Array.iteri
+      (fun t row ->
+        if not used.(t) then begin
+          let g = gain row in
+          if g > !best_gain then begin
+            best := t;
+            best_gain := g
+          end
+        end)
+      rows;
+    if !best < 0 then continue := false
+    else begin
+      used.(!best) <- true;
+      Array.iteri (fun i d -> if d then covered.(i) <- true) rows.(!best);
+      kept := !best :: !kept
+    end
+  done;
+  (* Restore generation order among the survivors. *)
+  List.sort compare !kept |> List.map (fun t -> tests_arr.(t))
+
+let coverage_preserved c faults ~original ~compacted =
+  Fault_sim.detected_by_tests c original faults
+  = Fault_sim.detected_by_tests c compacted faults

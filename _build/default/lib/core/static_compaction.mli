@@ -1,0 +1,35 @@
+(** Static (post-generation) test-set compaction.
+
+    Both passes preserve the exact set of detected faults; they only drop
+    tests whose detections are covered by the rest of the set.  The paper
+    relies on dynamic compaction alone — these are classic complements
+    used as an ablation (bench section E3). *)
+
+val reverse_order :
+  Pdf_circuit.Circuit.t ->
+  Fault_sim.prepared array ->
+  Test_pair.t list ->
+  Test_pair.t list
+(** The classic reverse-order pass: walk the tests from last to first and
+    keep a test only if it detects some fault no already-kept test
+    detects.  Later tests of a dynamically compacted set tend to be the
+    specialised ones, so scanning in reverse drops the early, now
+    redundant tests.  Order of the survivors follows the original set. *)
+
+val greedy_cover :
+  Pdf_circuit.Circuit.t ->
+  Fault_sim.prepared array ->
+  Test_pair.t list ->
+  Test_pair.t list
+(** Greedy set-cover minimisation: repeatedly keep the test detecting the
+    most still-uncovered faults.  Usually stronger than {!reverse_order},
+    at the cost of computing the full detection matrix up front. *)
+
+val coverage_preserved :
+  Pdf_circuit.Circuit.t ->
+  Fault_sim.prepared array ->
+  original:Test_pair.t list ->
+  compacted:Test_pair.t list ->
+  bool
+(** Check (by fault simulation) that the compacted set detects exactly
+    the faults the original set detects — used by tests and benches. *)

@@ -1,0 +1,58 @@
+type parse_error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+let to_string tests =
+  String.concat "" (List.map (fun t -> Test_pair.to_string t ^ "\n") tests)
+
+let parse_pattern lineno s =
+  if String.exists (fun ch -> ch <> '0' && ch <> '1') s then
+    Error { line = lineno; message = "patterns must be over {0,1}" }
+  else Ok (Array.init (String.length s) (fun i -> s.[i] = '1'))
+
+let of_string ~num_pis text =
+  let exception Fail of parse_error in
+  try
+    let tests = ref [] in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let line = String.trim line in
+        if line <> "" then
+          match String.split_on_char '/' line with
+          | [ a; b ] -> (
+            match parse_pattern lineno a, parse_pattern lineno b with
+            | Ok v1, Ok v3 ->
+              if Array.length v1 <> num_pis || Array.length v3 <> num_pis
+              then
+                raise
+                  (Fail
+                     {
+                       line = lineno;
+                       message =
+                         Printf.sprintf "expected %d bits per pattern" num_pis;
+                     })
+              else tests := Test_pair.create v1 v3 :: !tests
+            | Error e, _ | _, Error e -> raise (Fail e))
+          | _ ->
+            raise
+              (Fail { line = lineno; message = "expected exactly one '/'" }))
+      (String.split_on_char '\n' text);
+    Ok (List.rev !tests)
+  with Fail e -> Error e
+
+let write_file tests path =
+  let oc = open_out path in
+  output_string oc (to_string tests);
+  close_out oc
+
+let read_file ~num_pis path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  of_string ~num_pis text

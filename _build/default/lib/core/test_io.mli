@@ -1,0 +1,19 @@
+(** Reading and writing two-pattern test sets.
+
+    The format is one test per line, the two patterns separated by a
+    slash, MSB-to-LSB in primary-input declaration order — e.g.
+    ["0110100/1010110"].  Blank lines and [#] comments are ignored. *)
+
+type parse_error = { line : int; message : string }
+
+val error_to_string : parse_error -> string
+
+val to_string : Test_pair.t list -> string
+
+val of_string :
+  num_pis:int -> string -> (Test_pair.t list, parse_error) result
+
+val write_file : Test_pair.t list -> string -> unit
+
+val read_file :
+  num_pis:int -> string -> (Test_pair.t list, parse_error) result

@@ -1,0 +1,24 @@
+module Bit = Pdf_values.Bit
+module Two_pattern = Pdf_sim.Two_pattern
+
+type t = { v1 : bool array; v3 : bool array }
+
+let create v1 v3 =
+  if Array.length v1 <> Array.length v3 then
+    invalid_arg "Test_pair.create: pattern lengths differ";
+  { v1; v3 }
+
+let pi_pairs t =
+  Array.init (Array.length t.v1) (fun i ->
+      { Two_pattern.b1 = Bit.of_bool t.v1.(i); b3 = Bit.of_bool t.v3.(i) })
+
+let simulate c t = Two_pattern.simulate c (pi_pairs t)
+
+let satisfies c t reqs = Two_pattern.satisfies (simulate c t) reqs
+
+let equal a b = a.v1 = b.v1 && a.v3 = b.v3
+
+let pattern_string p =
+  String.init (Array.length p) (fun i -> if p.(i) then '1' else '0')
+
+let to_string t = pattern_string t.v1 ^ "/" ^ pattern_string t.v3

@@ -1,0 +1,26 @@
+(** A fully specified two-pattern test.
+
+    The simulation-based justification procedure of the paper always
+    produces fully specified tests, so the test type carries plain
+    Booleans: [v1] is the first pattern, [v3] the second. *)
+
+type t = { v1 : bool array; v3 : bool array }
+
+val create : bool array -> bool array -> t
+(** Arrays must have equal length (one entry per PI). *)
+
+val pi_pairs : t -> Pdf_sim.Two_pattern.pi_pair array
+
+val simulate : Pdf_circuit.Circuit.t -> t -> Pdf_values.Triple.t array
+(** Per-net value triples under this test. *)
+
+val satisfies :
+  Pdf_circuit.Circuit.t -> t -> (int * Pdf_values.Req.t) list -> bool
+(** Does this test assign all the given values — i.e. robustly detect the
+    fault(s) whose conditions they are?  (Convenience wrapper; batch fault
+    simulation should reuse one {!simulate} result.) *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["0110/1010"]-style rendering (first pattern / second pattern). *)

@@ -1,0 +1,145 @@
+module Circuit = Pdf_circuit.Circuit
+module Gate = Pdf_circuit.Gate
+module Path = Pdf_paths.Path
+module Delay_model = Pdf_paths.Delay_model
+module Heap = Pdf_util.Heap
+
+type waveform = {
+  initial : bool;
+  changes : (int * bool) list;
+}
+
+type result = {
+  waveforms : waveform array;
+  settle_time : int;
+}
+
+type injection = {
+  path : Path.t;
+  extra : int;
+}
+
+type event = { time : int; net : int; value : bool; seq : int }
+
+let max_events = 2_000_000
+
+(* Two-valued gate evaluation over the current net values. *)
+let eval_gate (current : bool array) (g : Circuit.gate) =
+  let fanins = g.Circuit.fanins in
+  match g.Circuit.kind with
+  | Gate.Not -> not current.(fanins.(0))
+  | Gate.Buff -> current.(fanins.(0))
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    let op =
+      match g.Circuit.kind with
+      | Gate.And | Gate.Nand -> ( && )
+      | Gate.Or | Gate.Nor -> ( || )
+      | Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buff -> ( <> )
+    in
+    let acc = ref current.(fanins.(0)) in
+    for i = 1 to Array.length fanins - 1 do
+      acc := op !acc current.(fanins.(i))
+    done;
+    if Gate.inverting g.Circuit.kind then not !acc else !acc
+
+let injected_pins inject =
+  let tbl = Hashtbl.create 16 in
+  (match inject with
+  | None -> ()
+  | Some { path; extra } ->
+    Array.iter
+      (fun (h : Path.hop) ->
+        Hashtbl.replace tbl (h.Path.gate, h.Path.pin) extra)
+      path.Path.hops);
+  tbl
+
+let simulate ?inject c (model : Delay_model.t) (test : Test_pair.t) =
+  let n = Circuit.num_nets c in
+  let extra_at = injected_pins inject in
+  let source_extra =
+    match inject with
+    | Some { path; extra } -> Some (path.Path.source, extra)
+    | None -> None
+  in
+  (* Settle the first pattern. *)
+  let current = Pdf_sim.Logic_sim.simulate_bool c test.Test_pair.v1 in
+  let initial = Array.copy current in
+  let changes = Array.make n [] in
+  let settle = ref 0 in
+  let queue =
+    Heap.create ~leq:(fun a b ->
+        a.time < b.time || (a.time = b.time && a.seq <= b.seq))
+  in
+  let seq = ref 0 in
+  let push time net value =
+    incr seq;
+    Heap.push queue { time; net; value; seq = !seq }
+  in
+  (* Launch the second pattern: a changing input arrives after its own
+     stem delay (plus the injected source slowdown for the faulty run). *)
+  for pi = 0 to c.Circuit.num_pis - 1 do
+    if test.Test_pair.v1.(pi) <> test.Test_pair.v3.(pi) then begin
+      let extra =
+        match source_extra with
+        | Some (src, e) when src = pi -> e
+        | Some _ | None -> 0
+      in
+      push (model.Delay_model.stem.(pi) + extra) pi test.Test_pair.v3.(pi)
+    end
+  done;
+  let processed = ref 0 in
+  let rec drain () =
+    match Heap.pop queue with
+    | None -> ()
+    | Some ev ->
+      incr processed;
+      if !processed > max_events then
+        failwith "Timing.simulate: event budget exceeded";
+      if current.(ev.net) <> ev.value then begin
+        current.(ev.net) <- ev.value;
+        changes.(ev.net) <- (ev.time, ev.value) :: changes.(ev.net);
+        if ev.time > !settle then settle := ev.time;
+        Array.iter
+          (fun (g, pin) ->
+            let out = Circuit.net_of_gate c g in
+            let v = eval_gate current c.Circuit.gates.(g) in
+            let extra =
+              match Hashtbl.find_opt extra_at (g, pin) with
+              | Some e -> e
+              | None -> 0
+            in
+            let delay =
+              Delay_model.branch_cost model c ev.net
+              + model.Delay_model.stem.(out) + extra
+            in
+            push (ev.time + delay) out v)
+          c.Circuit.fanouts.(ev.net)
+      end;
+      drain ()
+  in
+  drain ();
+  let waveforms =
+    Array.init n (fun net ->
+        { initial = initial.(net); changes = List.rev changes.(net) })
+  in
+  { waveforms; settle_time = !settle }
+
+let value_at w t =
+  List.fold_left
+    (fun acc (time, value) -> if time <= t then value else acc)
+    w.initial w.changes
+
+let final_value w =
+  match List.rev w.changes with (_, v) :: _ -> v | [] -> w.initial
+
+let detects c model ~t_sample ~inject test =
+  let fault_free = simulate c model test in
+  let faulty = simulate ~inject c model test in
+  Array.exists
+    (fun po ->
+      let expected = final_value fault_free.waveforms.(po) in
+      let sampled = value_at faulty.waveforms.(po) t_sample in
+      sampled <> expected)
+    c.Circuit.pos
+
+let nominal_period c model = fst (Pdf_paths.Count.longest c model)

@@ -1,0 +1,60 @@
+(** Event-driven timing simulation of two-pattern tests.
+
+    This is the physical ground truth behind the whole path-delay-fault
+    theory: gates have real delays, the first pattern settles, the second
+    pattern is launched at time 0, signals ripple with transport delays,
+    and the circuit is sampled at the clock period [t_sample].  A path
+    delay fault is {e injected} as extra delay on every gate along a
+    path; a test detects the fault iff some primary output samples a
+    value different from the fault-free settled response.
+
+    Gate delays are taken from a {!Pdf_paths.Delay_model}: the delay of a
+    gate is the stem weight of its output net, and leaving a stem with
+    fanout adds that stem's branch weight — matching the path-length
+    metric used by the enumeration, so the nominal critical delay equals
+    the length of the longest path. *)
+
+type waveform = {
+  initial : bool;  (** settled value under the first pattern *)
+  changes : (int * bool) list;  (** (time, new value), increasing times *)
+}
+
+type result = {
+  waveforms : waveform array;  (** per net *)
+  settle_time : int;  (** time of the last change anywhere *)
+}
+
+type injection = {
+  path : Pdf_paths.Path.t;
+  extra : int;  (** additional delay added to every gate along the path *)
+}
+
+val simulate :
+  ?inject:injection ->
+  Pdf_circuit.Circuit.t ->
+  Pdf_paths.Delay_model.t ->
+  Test_pair.t ->
+  result
+(** Settle the first pattern, launch the second at time 0, run to
+    quiescence.  Inputs are fully specified, so every waveform is
+    definite. *)
+
+val value_at : waveform -> int -> bool
+(** Sampled value at a time (changes at exactly [t] are visible). *)
+
+val final_value : waveform -> bool
+
+val detects :
+  Pdf_circuit.Circuit.t ->
+  Pdf_paths.Delay_model.t ->
+  t_sample:int ->
+  inject:injection ->
+  Test_pair.t ->
+  bool
+(** Physical detection check: simulate fault-free and faulty circuits;
+    [true] iff some primary output's sampled value under the fault
+    differs from the fault-free settled response. *)
+
+val nominal_period : Pdf_circuit.Circuit.t -> Pdf_paths.Delay_model.t -> int
+(** The fault-free critical delay: the longest complete-path length under
+    the model (the natural clock period for {!detects}). *)

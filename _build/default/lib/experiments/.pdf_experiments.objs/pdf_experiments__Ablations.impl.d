@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Estimation_error List Pdf_core Pdf_faults Pdf_paths Pdf_synth Pdf_util Workload

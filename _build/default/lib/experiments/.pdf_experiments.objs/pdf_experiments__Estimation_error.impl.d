@@ -1,0 +1,1 @@
+lib/experiments/estimation_error.ml: Array Hashtbl List Pdf_circuit Pdf_core Pdf_faults Pdf_paths Pdf_synth Pdf_util Printf Workload

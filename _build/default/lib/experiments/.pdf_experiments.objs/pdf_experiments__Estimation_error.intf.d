@@ -1,0 +1,1 @@
+lib/experiments/estimation_error.mli: Pdf_synth Pdf_util Workload

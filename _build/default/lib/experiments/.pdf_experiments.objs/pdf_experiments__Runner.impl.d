@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Float List Pdf_core Pdf_faults Pdf_paths Pdf_synth Workload

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Pdf_core Pdf_paths Pdf_synth Workload

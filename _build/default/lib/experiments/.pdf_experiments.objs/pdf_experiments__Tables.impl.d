@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Buffer List Paper_data Pdf_circuit Pdf_core Pdf_faults Pdf_paths Pdf_synth Pdf_util Pdf_values Printf Runner Workload

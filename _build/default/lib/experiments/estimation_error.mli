@@ -1,0 +1,43 @@
+(** The motivation experiment (paper, Section 1).
+
+    The paper argues for targeting next-to-longest paths because "paths
+    that appear to be shorter may actually be longer than the longest
+    paths if the procedure used for estimating path length is
+    inaccurate".  This experiment makes that argument measurable:
+
+    + build [P0]/[P1] and both test sets under the {e nominal} delay
+      model (the paper's line count);
+    + perturb every stem/branch weight by up to [noise_pct] percent —
+      the {e true} delays the estimator got wrong;
+    + find the faults of the truly longest paths under the perturbed
+      model (same [N_P0] rule), and fault-simulate both test sets on
+      them.
+
+    Enrichment should recover most of the true-critical faults that the
+    estimation error pushed into [P1]. *)
+
+type t = {
+  noise_pct : int;
+  true_critical_total : int;
+      (** detectable faults on the truly longest paths *)
+  in_nominal_p0 : int;  (** of those, how many the estimator kept in P0 *)
+  in_nominal_p1 : int;  (** how many fell to P1 — enrichment's territory *)
+  outside_p : int;  (** how many were not even enumerated nominally *)
+  basic_covered : int;  (** true-critical faults detected by the basic set *)
+  enriched_covered : int;
+  basic_tests : int;
+  enrich_tests : int;
+}
+
+val run :
+  ?seed:int ->
+  noise_pct:int ->
+  Workload.scale ->
+  Pdf_synth.Profiles.t ->
+  t
+
+val to_row : t -> string list
+(** [circuit-independent cells]: noise, true-critical, in-P0/in-P1/missed,
+    basic and enriched coverage with test counts. *)
+
+val table_header : (string * Pdf_util.Table.align) list

@@ -1,0 +1,95 @@
+type basic_row = {
+  circuit : string;
+  i0 : int;
+  p0_faults : int;
+  detected : int * int * int * int;
+  tests : int * int * int * int;
+}
+
+let tables_3_4 =
+  [
+    { circuit = "s641"; i0 = 57; p0_faults = 1057;
+      detected = (915, 915, 915, 915); tests = (471, 135, 130, 129) };
+    { circuit = "s953"; i0 = 15; p0_faults = 1236;
+      detected = (1231, 1231, 1231, 1231); tests = (581, 308, 303, 312) };
+    { circuit = "s1196"; i0 = 13; p0_faults = 1033;
+      detected = (572, 572, 572, 572); tests = (329, 175, 172, 175) };
+    { circuit = "s1423"; i0 = 17; p0_faults = 1116;
+      detected = (929, 931, 932, 924); tests = (495, 332, 335, 324) };
+    { circuit = "s1488"; i0 = 10; p0_faults = 1184;
+      detected = (1148, 1148, 1148, 1148); tests = (464, 321, 321, 317) };
+    { circuit = "b03"; i0 = 8; p0_faults = 1006;
+      detected = (869, 869, 869, 869); tests = (299, 90, 88, 96) };
+    { circuit = "b04"; i0 = 5; p0_faults = 1606;
+      detected = (458, 456, 461, 456); tests = (457, 301, 304, 302) };
+    { circuit = "b09"; i0 = 1; p0_faults = 1432;
+      detected = (944, 944, 944, 944); tests = (406, 147, 147, 158) };
+  ]
+
+type sim_row = {
+  circuit : string;
+  p_faults : int;
+  detected : int * int * int * int;
+}
+
+let table_5 =
+  [
+    { circuit = "s641"; p_faults = 2127; detected = (1452, 1436, 1417, 1420) };
+    { circuit = "s953"; p_faults = 2312; detected = (1830, 1759, 1781, 1778) };
+    { circuit = "s1196"; p_faults = 4527; detected = (1414, 1338, 1312, 1341) };
+    { circuit = "s1423"; p_faults = 1314; detected = (1013, 1019, 1017, 1007) };
+    { circuit = "s1488"; p_faults = 1918; detected = (1697, 1641, 1651, 1654) };
+    { circuit = "b03"; p_faults = 1450; detected = (1057, 1038, 1035, 1025) };
+    { circuit = "b04"; p_faults = 8370; detected = (936, 935, 941, 936) };
+    { circuit = "b09"; p_faults = 2207; detected = (1160, 1160, 1160, 1160) };
+  ]
+
+type enrich_row = {
+  circuit : string;
+  i0 : int;
+  p0_total : int;
+  p0_detected : int;
+  p_total : int;
+  p_detected : int;
+  tests : int;
+}
+
+let table_6 =
+  [
+    { circuit = "s641"; i0 = 57; p0_total = 1057; p0_detected = 915;
+      p_total = 2127; p_detected = 1815; tests = 127 };
+    { circuit = "s953"; i0 = 15; p0_total = 1236; p0_detected = 1231;
+      p_total = 2312; p_detected = 2063; tests = 315 };
+    { circuit = "s1196"; i0 = 13; p0_total = 1033; p0_detected = 572;
+      p_total = 4527; p_detected = 1932; tests = 174 };
+    { circuit = "s1423"; i0 = 17; p0_total = 1116; p0_detected = 934;
+      p_total = 1314; p_detected = 1039; tests = 332 };
+    { circuit = "s1488"; i0 = 10; p0_total = 1184; p0_detected = 1148;
+      p_total = 1918; p_detected = 1746; tests = 317 };
+    { circuit = "b03"; i0 = 8; p0_total = 1006; p0_detected = 869;
+      p_total = 1450; p_detected = 1178; tests = 95 };
+    { circuit = "b04"; i0 = 5; p0_total = 1606; p0_detected = 459;
+      p_total = 8370; p_detected = 1485; tests = 303 };
+    { circuit = "b09"; i0 = 1; p0_total = 1432; p0_detected = 944;
+      p_total = 2207; p_detected = 1301; tests = 150 };
+    { circuit = "s1423*"; i0 = 24; p0_total = 1061; p0_detected = 982;
+      p_total = 1593; p_detected = 1227; tests = 267 };
+    { circuit = "s5378*"; i0 = 3; p0_total = 1028; p0_detected = 913;
+      p_total = 8537; p_detected = 5469; tests = 441 };
+    { circuit = "s9234*"; i0 = 7; p0_total = 1158; p0_detected = 1158;
+      p_total = 9344; p_detected = 1465; tests = 824 };
+  ]
+
+let table_7 =
+  [
+    ("s641", 1.10); ("s953", 1.56); ("s1196", 2.51); ("s1423", 0.94);
+    ("s1488", 1.22); ("b03", 1.13); ("b04", 1.13); ("b09", 1.60);
+  ]
+
+let table_2 =
+  [
+    (96, 4); (95, 12); (94, 22); (93, 36); (92, 54); (91, 84); (90, 118);
+    (89, 160); (88, 208); (87, 256); (86, 314); (85, 378); (84, 458);
+    (83, 556); (82, 668); (81, 799); (80, 934); (79, 1116); (78, 1314);
+    (77, 1538);
+  ]

@@ -1,0 +1,45 @@
+(** The numbers published in the paper's tables, embedded for side-by-side
+    comparison with our measurements (EXPERIMENTS.md).
+
+    All values are transcribed from Pomeranz & Reddy, DATE 2002. *)
+
+type basic_row = {
+  circuit : string;
+  i0 : int;
+  p0_faults : int;
+  detected : int * int * int * int;  (** uncomp, arbit, length, values *)
+  tests : int * int * int * int;
+}
+
+val tables_3_4 : basic_row list
+(** Tables 3 and 4: basic test generation over [P0]. *)
+
+type sim_row = {
+  circuit : string;
+  p_faults : int;  (** [|P0 u P1|] *)
+  detected : int * int * int * int;
+}
+
+val table_5 : sim_row list
+(** Table 5: faults of [P0 u P1] detected accidentally by the basic test
+    sets. *)
+
+type enrich_row = {
+  circuit : string;
+  i0 : int;
+  p0_total : int;
+  p0_detected : int;
+  p_total : int;
+  p_detected : int;
+  tests : int;
+}
+
+val table_6 : enrich_row list
+(** Table 6: the proposed enrichment procedure (includes the resynthesized
+    circuits, marked with a [*]). *)
+
+val table_7 : (string * float) list
+(** Table 7: run-time ratio enrich/basic per circuit. *)
+
+val table_2 : (int * int) list
+(** Table 2: [(L_i, N_p(L_i))] for the 20 longest path lengths of s1423. *)

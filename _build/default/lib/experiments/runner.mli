@@ -1,0 +1,44 @@
+(** One-stop experiment execution for a circuit profile.
+
+    Builds the target sets once, runs the basic procedure under every
+    compaction heuristic, fault-simulates [P0 u P1] under each basic test
+    set (Table 5), and runs the enrichment procedure — everything Tables
+    3 through 7 need for one row. *)
+
+type basic_run = {
+  ordering : Pdf_core.Ordering.t;
+  p0_detected : int;
+  tests : int;
+  p_detected : int;  (** of [P0 u P1], by fault simulation (Table 5) *)
+  runtime_s : float;
+}
+
+type circuit_run = {
+  profile : Pdf_synth.Profiles.t;
+  scale : Workload.scale;
+  i0 : int;
+  cutoff_length : int;
+  p_total : int;
+  p0_total : int;
+  histogram : Pdf_paths.Histogram.t;
+  basics : basic_run list;  (** in {!Pdf_core.Ordering.all} order *)
+  enrich_p0_detected : int;
+  enrich_p_detected : int;
+  enrich_tests : int;
+  enrich_runtime_s : float;
+  enrich_aborts : int;
+}
+
+val run :
+  ?seed:int ->
+  ?with_basics:bool ->
+  Workload.scale ->
+  Pdf_synth.Profiles.t ->
+  circuit_run
+(** [run scale profile].  [with_basics] defaults to [true]; the
+    resynthesized Table 6 rows only need the enrichment run (the basic
+    fields are then zero/empty except the value-based run used for the
+    run-time ratio). *)
+
+val ratio : circuit_run -> float
+(** Table 7: enrichment run time over basic (value-based) run time. *)

@@ -1,0 +1,331 @@
+module Table = Pdf_util.Table
+module Ordering = Pdf_core.Ordering
+module Enumerate = Pdf_paths.Enumerate
+module Path = Pdf_paths.Path
+module Fault = Pdf_faults.Fault
+module Robust = Pdf_faults.Robust
+module Circuit = Pdf_circuit.Circuit
+
+let heuristic_columns = List.map Ordering.name Ordering.all
+
+let basic_cell run ordering pick =
+  match
+    List.find_opt (fun (b : Runner.basic_run) -> b.Runner.ordering = ordering)
+      run.Runner.basics
+  with
+  | Some b -> string_of_int (pick b)
+  | None -> "-"
+
+let row_of_run run pick =
+  run.Runner.profile.Pdf_synth.Profiles.name
+  :: string_of_int run.Runner.i0
+  :: List.map (fun o -> basic_cell run o pick) Ordering.all
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let buf = Buffer.create 2048 in
+  let c = Pdf_synth.Iscas.s27 () in
+  let model = Pdf_paths.Delay_model.lines c in
+  Buffer.add_string buf
+    "Table 1 counterpart: bounded path enumeration on s27 (N_P = 20 paths,\n\
+     simple mode: first-partial extension, shortest-complete eviction).\n\n";
+  let r =
+    Enumerate.enumerate ~mode:Enumerate.Simple ~record_events:true c model
+      ~max_paths:20
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "extension steps: %d, evictions: %d\n" r.Enumerate.steps
+       r.Enumerate.evicted);
+  List.iter
+    (fun ev ->
+      match ev with
+      | Enumerate.Evicted (p, len, complete) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  evicted %s path %s (length %d)\n"
+             (if complete then "complete" else "partial")
+             (Path.to_string c p) len)
+      | Enumerate.Completed _ -> ())
+    r.Enumerate.events;
+  Buffer.add_string buf
+    (Printf.sprintf "\nfinal set: %d complete paths\n"
+       (List.length r.Enumerate.paths));
+  List.iter
+    (fun (p, len) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  length %2d  %s\n" len (Path.to_string c p)))
+    r.Enumerate.paths;
+  (* The paper's running example: the slow-to-rise fault on the path the
+     paper labels (2,9,10,15).  In netlist names that is the path entering
+     NOR gate G12 from input G1 and leaving through NAND gate G13. *)
+  let g12 =
+    match Circuit.find_net c "G12" with Some n -> n | None -> assert false
+  in
+  let g13 =
+    match Circuit.find_net c "G13" with Some n -> n | None -> assert false
+  in
+  let g1 =
+    match Circuit.find_net c "G1" with Some n -> n | None -> assert false
+  in
+  let hop_to net prev =
+    match Circuit.gate_of_net c net with
+    | None -> assert false
+    | Some g ->
+      let fanins = c.Circuit.gates.(g).Circuit.fanins in
+      let pin = ref (-1) in
+      Array.iteri (fun i f -> if f = prev then pin := i) fanins;
+      assert (!pin >= 0);
+      { Path.gate = g; pin = !pin }
+  in
+  let path =
+    Path.extend (Path.extend (Path.source_only g1) (hop_to g12 g1))
+      (hop_to g13 g12)
+  in
+  let fault = Fault.rising path in
+  Buffer.add_string buf
+    (Printf.sprintf "\nA(p) of the paper's example fault, %s:\n"
+       (Fault.to_string c fault));
+  (match Robust.conditions c fault with
+  | Some reqs ->
+    List.iter
+      (fun (net, req) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-4s : %s\n" (Circuit.net_name c net)
+             (Pdf_values.Req.to_string req)))
+      reqs
+  | None -> Buffer.add_string buf "  (unexpectedly undetectable)\n");
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let table2 (scale : Workload.scale) =
+  let profile =
+    match Pdf_synth.Profiles.find "s1423" with
+    | Some p -> p
+    | None -> assert false
+  in
+  let c = Pdf_synth.Profiles.circuit profile in
+  let model = Pdf_paths.Delay_model.lines c in
+  let ts =
+    Pdf_faults.Target_sets.build c model ~n_p:scale.Workload.n_p
+      ~n_p0:scale.Workload.n_p0
+  in
+  let table =
+    Pdf_paths.Histogram.to_table ~max_rows:20 ts.Pdf_faults.Target_sets.histogram
+  in
+  Printf.sprintf
+    "Table 2 counterpart: fault counts per path length, %s look-alike\n\
+     (scale %s: N_P = %d, N_P0 = %d; i0 = %d, L_i0 = %d)\n\n%s"
+    profile.Pdf_synth.Profiles.name scale.Workload.label scale.Workload.n_p
+    scale.Workload.n_p0 ts.Pdf_faults.Target_sets.i0
+    ts.Pdf_faults.Target_sets.cutoff_length (Table.render table)
+
+(* ------------------------------------------------------------------ *)
+
+let table3_t runs =
+  let t =
+    Table.create
+      ~title:
+        "Table 3 counterpart: basic test generation using P0 (detected faults)"
+      (("circuit", Table.Left) :: ("i0", Table.Right)
+      :: ("P0 flts", Table.Right)
+      :: List.map (fun h -> (h, Table.Right)) heuristic_columns)
+  in
+  List.iter
+    (fun run ->
+      Table.add_row t
+        (run.Runner.profile.Pdf_synth.Profiles.name
+        :: string_of_int run.Runner.i0
+        :: string_of_int run.Runner.p0_total
+        :: List.map
+             (fun o -> basic_cell run o (fun b -> b.Runner.p0_detected))
+             Ordering.all))
+    runs;
+  t
+
+let table3 runs = Table.render (table3_t runs)
+
+let table4_t runs =
+  let t =
+    Table.create
+      ~title:
+        "Table 4 counterpart: basic test generation using P0 (numbers of tests)"
+      (("circuit", Table.Left) :: ("i0", Table.Right)
+      :: List.map (fun h -> (h, Table.Right)) heuristic_columns)
+  in
+  List.iter
+    (fun run -> Table.add_row t (row_of_run run (fun b -> b.Runner.tests)))
+    runs;
+  t
+
+let table4 runs = Table.render (table4_t runs)
+
+let table5_t runs =
+  let t =
+    Table.create
+      ~title:
+        "Table 5 counterpart: simulation of P0 u P1 under the basic test sets"
+      (("circuit", Table.Left) :: ("i0", Table.Right)
+      :: ("P0,P1 flts", Table.Right)
+      :: List.map (fun h -> (h, Table.Right)) heuristic_columns)
+  in
+  List.iter
+    (fun run ->
+      Table.add_row t
+        (run.Runner.profile.Pdf_synth.Profiles.name
+        :: string_of_int run.Runner.i0
+        :: string_of_int run.Runner.p_total
+        :: List.map
+             (fun o -> basic_cell run o (fun b -> b.Runner.p_detected))
+             Ordering.all))
+    runs;
+  t
+
+let table5 runs = Table.render (table5_t runs)
+
+let table6_t runs =
+  let t =
+    Table.create
+      ~title:"Table 6 counterpart: test enrichment using P0 and P1"
+      [
+        ("circuit", Table.Left); ("i0", Table.Right);
+        ("P0 total", Table.Right); ("P0 det", Table.Right);
+        ("P0,P1 total", Table.Right); ("P0,P1 det", Table.Right);
+        ("tests", Table.Right);
+      ]
+  in
+  List.iter
+    (fun run ->
+      Table.add_row t
+        [
+          run.Runner.profile.Pdf_synth.Profiles.name;
+          string_of_int run.Runner.i0;
+          string_of_int run.Runner.p0_total;
+          string_of_int run.Runner.enrich_p0_detected;
+          string_of_int run.Runner.p_total;
+          string_of_int run.Runner.enrich_p_detected;
+          string_of_int run.Runner.enrich_tests;
+        ])
+    runs;
+  t
+
+let table6 runs = Table.render (table6_t runs)
+
+let table7_t runs =
+  let t =
+    Table.create ~title:"Table 7 counterpart: run time ratios enrich/basic"
+      [ ("circuit", Table.Left); ("i0", Table.Right); ("ratio", Table.Right) ]
+  in
+  List.iter
+    (fun run ->
+      Table.add_row t
+        [
+          run.Runner.profile.Pdf_synth.Profiles.name;
+          string_of_int run.Runner.i0;
+          Printf.sprintf "%.2f" (Runner.ratio run);
+        ])
+    runs;
+  t
+
+let table7 runs = Table.render (table7_t runs)
+
+(* CSV export of the measured tables (named file stem, CSV content). *)
+let csv_exports ~table_runs ~enrich_runs =
+  [
+    ("table3_p0_detected", Pdf_util.Csv.of_table (table3_t table_runs));
+    ("table4_test_counts", Pdf_util.Csv.of_table (table4_t table_runs));
+    ("table5_accidental_detection", Pdf_util.Csv.of_table (table5_t table_runs));
+    ("table6_enrichment", Pdf_util.Csv.of_table (table6_t enrich_runs));
+    ("table7_runtime_ratios", Pdf_util.Csv.of_table (table7_t table_runs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let paper_reference () =
+  let buf = Buffer.create 4096 in
+  let add s = Buffer.add_string buf s in
+  add "Published values (Pomeranz & Reddy, DATE 2002) for comparison:\n\n";
+  let t2 =
+    Table.create ~title:"Paper Table 2 (s1423)"
+      [ ("i", Table.Right); ("L_i", Table.Right); ("N_p(L_i)", Table.Right) ]
+  in
+  List.iteri
+    (fun i (l, np) ->
+      Table.add_row t2 [ string_of_int i; string_of_int l; string_of_int np ])
+    Paper_data.table_2;
+  add (Table.render t2);
+  add "\n";
+  let t3 =
+    Table.create ~title:"Paper Table 3 (P0 detected)"
+      (("circuit", Table.Left) :: ("i0", Table.Right)
+      :: ("P0 flts", Table.Right)
+      :: List.map (fun h -> (h, Table.Right)) heuristic_columns)
+  in
+  let t4 =
+    Table.create ~title:"Paper Table 4 (P0 tests)"
+      (("circuit", Table.Left) :: ("i0", Table.Right)
+      :: List.map (fun h -> (h, Table.Right)) heuristic_columns)
+  in
+  List.iter
+    (fun (r : Paper_data.basic_row) ->
+      let a, b, c, d = r.Paper_data.detected in
+      Table.add_row t3
+        [ r.Paper_data.circuit; string_of_int r.Paper_data.i0;
+          string_of_int r.Paper_data.p0_faults; string_of_int a;
+          string_of_int b; string_of_int c; string_of_int d ];
+      let a, b, c, d = r.Paper_data.tests in
+      Table.add_row t4
+        [ r.Paper_data.circuit; string_of_int r.Paper_data.i0;
+          string_of_int a; string_of_int b; string_of_int c; string_of_int d ])
+    Paper_data.tables_3_4;
+  add (Table.render t3);
+  add "\n";
+  add (Table.render t4);
+  add "\n";
+  let t5 =
+    Table.create ~title:"Paper Table 5 (P0 u P1 detected by basic test sets)"
+      (("circuit", Table.Left) :: ("P0,P1 flts", Table.Right)
+      :: List.map (fun h -> (h, Table.Right)) heuristic_columns)
+  in
+  List.iter
+    (fun (r : Paper_data.sim_row) ->
+      let a, b, c, d = r.Paper_data.detected in
+      Table.add_row t5
+        [ r.Paper_data.circuit; string_of_int r.Paper_data.p_faults;
+          string_of_int a; string_of_int b; string_of_int c; string_of_int d ])
+    Paper_data.table_5;
+  add (Table.render t5);
+  add "\n";
+  let t6 =
+    Table.create ~title:"Paper Table 6 (enrichment)"
+      [
+        ("circuit", Table.Left); ("i0", Table.Right);
+        ("P0 total", Table.Right); ("P0 det", Table.Right);
+        ("P0,P1 total", Table.Right); ("P0,P1 det", Table.Right);
+        ("tests", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Paper_data.enrich_row) ->
+      Table.add_row t6
+        [
+          r.Paper_data.circuit; string_of_int r.Paper_data.i0;
+          string_of_int r.Paper_data.p0_total;
+          string_of_int r.Paper_data.p0_detected;
+          string_of_int r.Paper_data.p_total;
+          string_of_int r.Paper_data.p_detected;
+          string_of_int r.Paper_data.tests;
+        ])
+    Paper_data.table_6;
+  add (Table.render t6);
+  add "\n";
+  let t7 =
+    Table.create ~title:"Paper Table 7 (run time ratios)"
+      [ ("circuit", Table.Left); ("ratio", Table.Right) ]
+  in
+  List.iter
+    (fun (name, ratio) ->
+      Table.add_row t7 [ name; Printf.sprintf "%.2f" ratio ])
+    Paper_data.table_7;
+  add (Table.render t7);
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Reproduction of every table in the paper.
+
+    Each function renders the measured counterpart of one paper table;
+    {!paper_reference} renders the published numbers for side-by-side
+    reading.  Tables 3-7 consume the {!Runner.circuit_run} records so one
+    expensive run per circuit feeds all of them. *)
+
+val table1 : unit -> string
+(** Paper Table 1 / Figure 1: the bounded enumeration walkthrough on the
+    genuine s27, with the eviction events and the final path set, plus the
+    [A(p)] of the paper's running example fault. *)
+
+val table2 : Workload.scale -> string
+(** Paper Table 2: [L_i] and [N_p(L_i)] for the 20 longest path lengths of
+    the s1423 look-alike. *)
+
+val table3 : Runner.circuit_run list -> string
+(** Detected faults of [P0] under the four heuristics. *)
+
+val table4 : Runner.circuit_run list -> string
+(** Test counts under the four heuristics. *)
+
+val table5 : Runner.circuit_run list -> string
+(** Faults of [P0 u P1] detected accidentally by the basic test sets. *)
+
+val table6 : Runner.circuit_run list -> string
+(** The enrichment procedure (11 rows, including resynthesized
+    stand-ins). *)
+
+val table7 : Runner.circuit_run list -> string
+(** Run-time ratios enrich/basic. *)
+
+val paper_reference : unit -> string
+(** The published values of Tables 2-7, rendered for comparison. *)
+
+val csv_exports :
+  table_runs:Runner.circuit_run list ->
+  enrich_runs:Runner.circuit_run list ->
+  (string * Pdf_util.Csv.t) list
+(** Measured Tables 3-7 as [(file stem, csv)] pairs; [enrich_runs] is the
+    eleven-row list for Table 6. *)

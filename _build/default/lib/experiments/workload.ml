@@ -1,0 +1,17 @@
+type scale = {
+  label : string;
+  n_p : int;
+  n_p0 : int;
+}
+
+let small = { label = "small"; n_p = 2000; n_p0 = 200 }
+
+let paper = { label = "paper"; n_p = 10_000; n_p0 = 1_000 }
+
+let of_label s =
+  match String.lowercase_ascii s with
+  | "small" -> Some small
+  | "paper" -> Some paper
+  | _ -> None
+
+let default_seed = 2002

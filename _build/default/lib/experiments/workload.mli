@@ -1,0 +1,22 @@
+(** Experiment workload parameters.
+
+    The paper uses [N_P = 10000] and [N_P0 = 1000].  Because our substrate
+    regenerates every table on a laptop, the default scale divides both by
+    five — the paper itself presents them as effort-bound tunables.  The
+    scale in force is recorded in every report. *)
+
+type scale = {
+  label : string;
+  n_p : int;  (** [N_P]: fault budget for [P] during enumeration *)
+  n_p0 : int;  (** [N_P0]: minimum size of [P0] *)
+}
+
+val small : scale
+(** [N_P = 2000], [N_P0 = 200] — minutes for the full table suite. *)
+
+val paper : scale
+(** [N_P = 10000], [N_P0 = 1000] — the paper's constants. *)
+
+val of_label : string -> scale option
+
+val default_seed : int

@@ -1,0 +1,1 @@
+lib/faults/fault.mli: Pdf_circuit Pdf_paths

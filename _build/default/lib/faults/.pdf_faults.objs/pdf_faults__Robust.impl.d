@@ -1,0 +1,1 @@
+lib/faults/robust.ml: Array Fault Hashtbl Int List Pdf_circuit Pdf_paths Pdf_values

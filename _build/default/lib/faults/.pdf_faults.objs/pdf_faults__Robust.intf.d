@@ -1,0 +1,1 @@
+lib/faults/robust.mli: Fault Hashtbl Pdf_circuit Pdf_values

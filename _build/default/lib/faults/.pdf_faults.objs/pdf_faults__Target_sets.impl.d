@@ -1,0 +1,1 @@
+lib/faults/target_sets.ml: Fault Hashtbl Int List Pdf_paths Robust Undetectable

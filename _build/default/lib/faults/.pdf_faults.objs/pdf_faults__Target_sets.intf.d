@@ -1,0 +1,1 @@
+lib/faults/target_sets.mli: Fault Pdf_circuit Pdf_paths Robust Undetectable

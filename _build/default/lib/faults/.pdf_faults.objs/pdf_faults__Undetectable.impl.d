@@ -1,0 +1,1 @@
+lib/faults/undetectable.ml: List Pdf_sim Robust

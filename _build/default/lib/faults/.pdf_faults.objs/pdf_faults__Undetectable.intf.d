@@ -1,0 +1,1 @@
+lib/faults/undetectable.mli: Fault Pdf_circuit Robust

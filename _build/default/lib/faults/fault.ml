@@ -1,0 +1,24 @@
+module Path = Pdf_paths.Path
+
+type direction = Rising | Falling
+
+type t = { path : Path.t; dir : direction }
+
+let rising path = { path; dir = Rising }
+
+let falling path = { path; dir = Falling }
+
+let both path = [ rising path; falling path ]
+
+let equal a b = a.dir = b.dir && Path.equal a.path b.path
+
+let compare a b =
+  let c = Stdlib.compare a.dir b.dir in
+  if c <> 0 then c else Path.compare a.path b.path
+
+let direction_name = function
+  | Rising -> "slow-to-rise"
+  | Falling -> "slow-to-fall"
+
+let to_string c t =
+  Printf.sprintf "%s %s" (direction_name t.dir) (Path.to_string c t.path)

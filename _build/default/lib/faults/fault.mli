@@ -1,0 +1,25 @@
+(** Path delay faults.
+
+    A fault is a physical path together with the transition launched at its
+    source: {!Rising} is the slow-to-rise fault (the propagated [0 -> 1]
+    transition arrives late), {!Falling} the slow-to-fall fault. *)
+
+type direction = Rising | Falling
+
+type t = { path : Pdf_paths.Path.t; dir : direction }
+
+val rising : Pdf_paths.Path.t -> t
+
+val falling : Pdf_paths.Path.t -> t
+
+val both : Pdf_paths.Path.t -> t list
+(** The two faults of a path, rising first. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val direction_name : direction -> string
+(** ["slow-to-rise"] or ["slow-to-fall"]. *)
+
+val to_string : Pdf_circuit.Circuit.t -> t -> string

@@ -1,0 +1,99 @@
+module Circuit = Pdf_circuit.Circuit
+module Gate = Pdf_circuit.Gate
+module Req = Pdf_values.Req
+module Path = Pdf_paths.Path
+
+type criterion = Robust | Non_robust
+
+let flip = function Fault.Rising -> Fault.Falling | Fault.Falling -> Fault.Rising
+
+let source_req = function
+  | Fault.Rising -> Req.rising
+  | Fault.Falling -> Req.falling
+
+(* Off-path requirement at a gate with controlling value [cv], given the
+   on-path transition direction arriving at the gate.  Robust tests need
+   a hazard-free non-controlling side when the transition ends at the
+   controlling value; non-robust tests always settle for the second
+   pattern alone. *)
+let side_req ~criterion ~cv dir =
+  match criterion with
+  | Non_robust -> Req.final (not cv)
+  | Robust ->
+    let final_is_controlling =
+      match dir with Fault.Rising -> cv | Fault.Falling -> not cv
+    in
+    if final_is_controlling then Req.stable (not cv) else Req.final (not cv)
+
+let raw_conditions ?(criterion = Robust) c (fault : Fault.t) =
+  let reqs = ref [ (fault.Fault.path.Path.source, source_req fault.Fault.dir) ] in
+  let dir = ref fault.Fault.dir in
+  Array.iter
+    (fun (h : Path.hop) ->
+      let g = (c : Circuit.t).gates.(h.Path.gate) in
+      let fanins = g.Circuit.fanins in
+      (match g.Circuit.kind with
+      | Gate.Not | Gate.Buff -> ()
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+        let cv =
+          match Gate.controlling g.Circuit.kind with
+          | Some b -> b
+          | None -> assert false
+        in
+        let req = side_req ~criterion ~cv !dir in
+        Array.iteri
+          (fun pin fanin ->
+            if pin <> h.Path.pin then reqs := (fanin, req) :: !reqs)
+          fanins
+      | Gate.Xor | Gate.Xnor ->
+        Array.iteri
+          (fun pin fanin ->
+            if pin <> h.Path.pin then reqs := (fanin, Req.stable false) :: !reqs)
+          fanins);
+      if Gate.inverting g.Circuit.kind then dir := flip !dir)
+    fault.Fault.path.Path.hops;
+  List.rev !reqs
+
+let merge_into acc reqs =
+  (* Two-phase: validate against current contents first so a conflict
+     leaves [acc] untouched. *)
+  let merged =
+    List.fold_left
+      (fun merged_opt (net, req) ->
+        match merged_opt with
+        | None -> None
+        | Some merged ->
+          let current =
+            match List.assoc_opt net merged with
+            | Some r -> r
+            | None -> (
+              match Hashtbl.find_opt acc net with
+              | Some r -> r
+              | None -> Req.any)
+          in
+          (match Req.merge current req with
+          | Some r -> Some ((net, r) :: List.remove_assoc net merged)
+          | None -> None))
+      (Some []) reqs
+  in
+  match merged with
+  | None -> false
+  | Some merged ->
+    List.iter (fun (net, req) -> Hashtbl.replace acc net req) merged;
+    true
+
+let conditions ?(criterion = Robust) c fault =
+  let raw = raw_conditions ~criterion c fault in
+  let acc = Hashtbl.create 16 in
+  if merge_into acc raw then
+    Some (Hashtbl.fold (fun net req l -> (net, req) :: l) acc []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+  else None
+
+let output_direction c (fault : Fault.t) =
+  Array.fold_left
+    (fun dir (h : Path.hop) ->
+      if Gate.inverting (c : Circuit.t).gates.(h.Path.gate).Circuit.kind then
+        flip dir
+      else dir)
+    fault.Fault.dir fault.Fault.path.Path.hops

@@ -1,0 +1,90 @@
+module Enumerate = Pdf_paths.Enumerate
+module Histogram = Pdf_paths.Histogram
+
+type entry = { fault : Fault.t; length : int }
+
+type t = {
+  p : entry list;
+  p0 : entry list;
+  p1 : entry list;
+  i0 : int;
+  cutoff_length : int;
+  histogram : Histogram.t;
+  undetectable : Undetectable.stats;
+  enumeration : Enumerate.result;
+}
+
+let paper_n_p = 10_000
+
+let paper_n_p0 = 1_000
+
+let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust) c
+    model ~n_p ~n_p0 =
+  if n_p < 2 then invalid_arg "Target_sets.build: n_p < 2";
+  let enumeration =
+    Enumerate.enumerate ~mode c model ~max_paths:(n_p / 2)
+  in
+  let all_faults =
+    List.concat_map
+      (fun (path, length) ->
+        List.map (fun fault -> (fault, length)) (Fault.both path))
+      enumeration.Enumerate.paths
+  in
+  let kept, undetectable =
+    let faults = List.map fst all_faults in
+    let kept_faults, stats = Undetectable.filter ~criterion c faults in
+    let lengths = Hashtbl.create 64 in
+    List.iter
+      (fun (f, l) -> Hashtbl.replace lengths f.Fault.path l)
+      all_faults;
+    ( List.map
+        (fun f -> { fault = f; length = Hashtbl.find lengths f.Fault.path })
+        kept_faults,
+      stats )
+  in
+  let p =
+    List.sort
+      (fun a b ->
+        if a.length <> b.length then Int.compare b.length a.length
+        else Fault.compare a.fault b.fault)
+      kept
+  in
+  let histogram = Histogram.of_lengths (List.map (fun e -> e.length) p) in
+  let i0 =
+    match Histogram.select_i0 histogram ~threshold:n_p0 with
+    | Some i -> i
+    | None -> max 0 (List.length histogram - 1)
+  in
+  let cutoff_length =
+    if histogram = [] then 0 else Histogram.cutoff_length histogram ~rank:i0
+  in
+  let p0 = List.filter (fun e -> e.length >= cutoff_length) p in
+  let p1 = List.filter (fun e -> e.length < cutoff_length) p in
+  { p; p0; p1; i0; cutoff_length; histogram; undetectable; enumeration }
+
+let split_multi t ~thresholds =
+  let rec check_increasing prev = function
+    | [] -> ()
+    | th :: rest ->
+      if th <= prev then
+        invalid_arg "Target_sets.split_multi: thresholds must increase";
+      check_increasing th rest
+  in
+  check_increasing 0 thresholds;
+  (* Convert each cumulative threshold into a length cutoff using the
+     same rule as the [N_P0] selection, then slice [P] by length. *)
+  let cutoff_for threshold =
+    match Histogram.select_i0 t.histogram ~threshold with
+    | Some rank -> Histogram.cutoff_length t.histogram ~rank
+    | None -> min_int (* everything qualifies *)
+  in
+  let cutoffs = List.map cutoff_for thresholds in
+  let rec slice remaining = function
+    | [] -> [ remaining ]
+    | cutoff :: rest ->
+      let inside, outside =
+        List.partition (fun e -> e.length >= cutoff) remaining
+      in
+      inside :: slice outside rest
+  in
+  slice t.p cutoffs

@@ -1,0 +1,43 @@
+module Implication = Pdf_sim.Implication
+
+type verdict =
+  | Maybe_detectable
+  | Direct_conflict
+  | Implication_conflict of { net : int; component : int }
+
+let classify ?(criterion = Robust.Robust) c fault =
+  match Robust.conditions ~criterion c fault with
+  | None -> Direct_conflict
+  | Some reqs -> (
+    match Implication.infer c reqs with
+    | Implication.Consistent _ -> Maybe_detectable
+    | Implication.Conflict { net; component } ->
+      Implication_conflict { net; component })
+
+type stats = {
+  kept : int;
+  direct_conflicts : int;
+  implication_conflicts : int;
+}
+
+let filter ?(criterion = Robust.Robust) c faults =
+  let direct = ref 0 and implied = ref 0 in
+  let kept =
+    List.filter
+      (fun f ->
+        match classify ~criterion c f with
+        | Maybe_detectable -> true
+        | Direct_conflict ->
+          incr direct;
+          false
+        | Implication_conflict _ ->
+          incr implied;
+          false)
+      faults
+  in
+  ( kept,
+    {
+      kept = List.length kept;
+      direct_conflicts = !direct;
+      implication_conflicts = !implied;
+    } )

@@ -1,0 +1,32 @@
+(** Elimination of undetectable path delay faults (paper, Section 3.1).
+
+    Two sound filters are applied:
+    + {b Direct conflict}: [A(p)] pins a line to two different values.
+    + {b Implication conflict}: propagating the values of [A(p)] through
+      the circuit (forward and backward) assigns conflicting values to
+      some line.
+
+    Both only remove provably undetectable faults; faults that survive may
+    still turn out untestable during test generation. *)
+
+type verdict =
+  | Maybe_detectable
+  | Direct_conflict
+  | Implication_conflict of { net : int; component : int }
+
+val classify :
+  ?criterion:Robust.criterion -> Pdf_circuit.Circuit.t -> Fault.t -> verdict
+(** Default criterion is {!Robust.Robust}. *)
+
+type stats = {
+  kept : int;
+  direct_conflicts : int;
+  implication_conflicts : int;
+}
+
+val filter :
+  ?criterion:Robust.criterion ->
+  Pdf_circuit.Circuit.t ->
+  Fault.t list ->
+  Fault.t list * stats
+(** Keep only faults classified {!Maybe_detectable}, preserving order. *)

@@ -1,0 +1,1 @@
+lib/paths/count.ml: Array Delay_model Distance Pdf_circuit

@@ -1,0 +1,1 @@
+lib/paths/count.mli: Delay_model Pdf_circuit

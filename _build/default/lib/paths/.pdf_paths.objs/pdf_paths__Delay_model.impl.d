@@ -1,0 +1,1 @@
+lib/paths/delay_model.ml: Array Path Pdf_circuit Pdf_util

@@ -1,0 +1,1 @@
+lib/paths/distance.ml: Array Delay_model Path Pdf_circuit

@@ -1,0 +1,1 @@
+lib/paths/distance.mli: Delay_model Path Pdf_circuit

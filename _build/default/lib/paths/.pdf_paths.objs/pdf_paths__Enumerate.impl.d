@@ -1,0 +1,1 @@
+lib/paths/enumerate.ml: Array Delay_model Distance Int List Path Pdf_circuit Pdf_util

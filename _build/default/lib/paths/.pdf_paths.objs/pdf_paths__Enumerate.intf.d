@@ -1,0 +1,1 @@
+lib/paths/enumerate.mli: Delay_model Path Pdf_circuit

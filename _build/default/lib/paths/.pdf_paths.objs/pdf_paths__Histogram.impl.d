@@ -1,0 +1,1 @@
+lib/paths/histogram.ml: Hashtbl Int List Option Pdf_util

@@ -1,0 +1,1 @@
+lib/paths/histogram.mli: Pdf_util

@@ -1,0 +1,1 @@
+lib/paths/path.ml: Array Int List Pdf_circuit String

@@ -1,0 +1,1 @@
+lib/paths/path.mli: Pdf_circuit

@@ -1,0 +1,1 @@
+lib/paths/sta.ml: Array Delay_model Distance List Pdf_circuit

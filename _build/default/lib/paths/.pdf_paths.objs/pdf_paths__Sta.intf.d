@@ -1,0 +1,1 @@
+lib/paths/sta.mli: Delay_model Path Pdf_circuit

@@ -1,0 +1,80 @@
+module Circuit = Pdf_circuit.Circuit
+
+let from_net (c : Circuit.t) =
+  let n = Circuit.num_nets c in
+  let counts = Array.make n 0. in
+  for net = n - 1 downto 0 do
+    let total = ref (if c.is_po.(net) then 1. else 0.) in
+    Array.iter
+      (fun (g, _pin) -> total := !total +. counts.(Circuit.net_of_gate c g))
+      c.fanouts.(net);
+    counts.(net) <- !total
+  done;
+  counts
+
+let to_net (c : Circuit.t) =
+  let n = Circuit.num_nets c in
+  let counts = Array.make n 0. in
+  for net = 0 to n - 1 do
+    match Circuit.gate_of_net c net with
+    | None -> counts.(net) <- 1.
+    | Some g ->
+      let total = ref 0. in
+      Array.iter
+        (fun fanin -> total := !total +. counts.(fanin))
+        c.gates.(g).Circuit.fanins;
+      counts.(net) <- !total
+  done;
+  counts
+
+let total c =
+  let from = from_net c in
+  let sum = ref 0. in
+  for pi = 0 to c.Circuit.num_pis - 1 do
+    sum := !sum +. from.(pi)
+  done;
+  !sum
+
+let through c =
+  let from = from_net c and into = to_net c in
+  Array.init (Circuit.num_nets c) (fun net -> from.(net) *. into.(net))
+
+(* Longest-length DP over suffixes: for each net, the maximum suffix
+   length and the number of suffixes achieving it. *)
+let longest (c : Circuit.t) (model : Delay_model.t) =
+  let n = Circuit.num_nets c in
+  let best = Array.make n Distance.unreachable in
+  let count = Array.make n 0. in
+  for net = n - 1 downto 0 do
+    let b = ref (if c.is_po.(net) then 0 else Distance.unreachable) in
+    let k = ref (if c.is_po.(net) then 1. else 0.) in
+    Array.iter
+      (fun (g, _pin) ->
+        let out = Circuit.net_of_gate c g in
+        if best.(out) > Distance.unreachable then begin
+          let via =
+            Delay_model.branch_cost model c net + model.Delay_model.stem.(out)
+            + best.(out)
+          in
+          if via > !b then begin
+            b := via;
+            k := count.(out)
+          end
+          else if via = !b then k := !k +. count.(out)
+        end)
+      c.fanouts.(net);
+    best.(net) <- !b;
+    count.(net) <- !k
+  done;
+  let overall = ref Distance.unreachable and paths = ref 0. in
+  for pi = 0 to c.Circuit.num_pis - 1 do
+    if best.(pi) > Distance.unreachable then begin
+      let len = model.Delay_model.stem.(pi) + best.(pi) in
+      if len > !overall then begin
+        overall := len;
+        paths := count.(pi)
+      end
+      else if len = !overall then paths := !paths +. count.(pi)
+    end
+  done;
+  if !overall <= Distance.unreachable then (0, 0.) else (!overall, !paths)

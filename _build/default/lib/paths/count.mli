@@ -1,0 +1,28 @@
+(** Non-enumerative path counting.
+
+    Practical circuits can have far too many paths to enumerate (the
+    paper's reference [2] estimates coverage without enumeration); these
+    dynamic programs count them exactly in one pass each.  Counts are
+    returned as floats because path counts grow exponentially — beyond
+    2^53 they become approximate, which is fine for reporting and for
+    sizing [N_P]. *)
+
+val total : Pdf_circuit.Circuit.t -> float
+(** Number of complete paths (PI to PO). *)
+
+val from_net : Pdf_circuit.Circuit.t -> float array
+(** Per net: number of path suffixes from the net to any PO (1 for a PO
+    with no fanout; a PO that feeds further logic counts both itself and
+    its continuations). *)
+
+val to_net : Pdf_circuit.Circuit.t -> float array
+(** Per net: number of path prefixes from any PI to the net. *)
+
+val through : Pdf_circuit.Circuit.t -> float array
+(** Per net: number of complete paths passing through (or starting/ending
+    at) the net — the product of {!to_net} and {!from_net}. *)
+
+val longest : Pdf_circuit.Circuit.t -> Delay_model.t -> int * float
+(** [(length, count)] of the longest paths under the model: the maximum
+    complete-path length and how many paths achieve it.  [(0, 0.)] when
+    the circuit has no complete path. *)

@@ -1,0 +1,42 @@
+module Circuit = Pdf_circuit.Circuit
+
+type t = { stem : int array; branch : int array }
+
+let lines c =
+  let n = Circuit.num_nets c in
+  { stem = Array.make n 1; branch = Array.make n 1 }
+
+let unit_gates c =
+  let n = Circuit.num_nets c in
+  { stem = Array.make n 1; branch = Array.make n 0 }
+
+let per_kind (c : Circuit.t) ~pi_weight ~branch_weight kind_weight =
+  let n = Circuit.num_nets c in
+  let stem =
+    Array.init n (fun net ->
+        match Circuit.gate_of_net c net with
+        | None -> pi_weight
+        | Some g -> kind_weight c.gates.(g).Circuit.kind)
+  in
+  { stem; branch = Array.make n branch_weight }
+
+let random c rng ~min ~max =
+  if max < min then invalid_arg "Delay_model.random: max < min";
+  let n = Circuit.num_nets c in
+  let stem = Array.init n (fun _ -> min + Pdf_util.Rng.int rng (max - min + 1)) in
+  { stem; branch = Array.make n 0 }
+
+let branch_cost t c net =
+  if Circuit.fanout_count c net > 1 then t.branch.(net) else 0
+
+let length t c (p : Path.t) =
+  let total = ref t.stem.(p.Path.source) in
+  let prev = ref p.Path.source in
+  Array.iter
+    (fun (h : Path.hop) ->
+      total := !total + branch_cost t c !prev;
+      let out = Circuit.net_of_gate c h.Path.gate in
+      total := !total + t.stem.(out);
+      prev := out)
+    p.Path.hops;
+  !total

@@ -1,0 +1,36 @@
+(** Path delay models.
+
+    A model assigns an integer weight to every stem (net) and to every
+    fanout branch.  The length of a path is the sum of the stem weights of
+    its nets plus the branch weight of every traversed stem whose fanout
+    exceeds one.  The paper's model — "the delay of a path is equal to the
+    number of lines along the path" — is {!lines} (all weights 1).  Other
+    models let us exercise the enumeration under non-uniform delays. *)
+
+type t = { stem : int array; branch : int array }
+
+val lines : Pdf_circuit.Circuit.t -> t
+(** Paper model: every stem and every branch is one line. *)
+
+val unit_gates : Pdf_circuit.Circuit.t -> t
+(** Stems weigh 1, branches are free: the length is the number of nets. *)
+
+val per_kind :
+  Pdf_circuit.Circuit.t ->
+  pi_weight:int ->
+  branch_weight:int ->
+  (Pdf_circuit.Gate.kind -> int) ->
+  t
+(** Weight each gate output by its kind (e.g. heavier XOR). *)
+
+val random :
+  Pdf_circuit.Circuit.t -> Pdf_util.Rng.t -> min:int -> max:int -> t
+(** Uniform random stem weights in [\[min, max\]], branch weights 0 — models
+    an inaccurate/extracted delay estimate, the situation that motivates
+    enriching with next-to-longest paths. *)
+
+val length : t -> Pdf_circuit.Circuit.t -> Path.t -> int
+
+val branch_cost : t -> Pdf_circuit.Circuit.t -> int -> int
+(** Cost of leaving net [n] towards any consumer: its branch weight when
+    the fanout exceeds one, else 0. *)

@@ -1,0 +1,29 @@
+module Circuit = Pdf_circuit.Circuit
+
+let unreachable = min_int / 4
+
+let compute (c : Circuit.t) (model : Delay_model.t) =
+  let n = Circuit.num_nets c in
+  let d = Array.make n unreachable in
+  (* Net indices are topological, so a single descending sweep sees every
+     consumer (whose output net index is larger) before its producer. *)
+  for net = n - 1 downto 0 do
+    let best = ref (if c.is_po.(net) then 0 else unreachable) in
+    Array.iter
+      (fun (g, _pin) ->
+        let out = Circuit.net_of_gate c g in
+        if d.(out) > unreachable then begin
+          let via =
+            Delay_model.branch_cost model c net + model.Delay_model.stem.(out)
+            + d.(out)
+          in
+          if via > !best then best := via
+        end)
+      c.fanouts.(net);
+    d.(net) <- !best
+  done;
+  d
+
+let len_bound d c p length =
+  let last = Path.last_net c p in
+  if d.(last) <= unreachable then unreachable else length + d.(last)

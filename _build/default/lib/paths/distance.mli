@@ -1,0 +1,17 @@
+(** Distance of every line from the primary outputs (paper, Figure 2).
+
+    [d(g)] is the maximum added length of any path suffix starting after
+    net [g]; the maximum length of a path having prefix [p] is
+    [len(p) = length(p) + d(last net of p)].  Nets from which no primary
+    output is reachable get {!unreachable}. *)
+
+val unreachable : int
+(** A large negative sentinel; any arithmetic on it stays clearly
+    negative. *)
+
+val compute : Pdf_circuit.Circuit.t -> Delay_model.t -> int array
+(** One reverse-topological pass. *)
+
+val len_bound : int array -> Pdf_circuit.Circuit.t -> Path.t -> int -> int
+(** [len_bound d c p length] = [length + d(last net)], the [len(p)] of the
+    paper ([length] is the already-known length of [p]). *)

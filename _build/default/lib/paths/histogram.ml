@@ -1,0 +1,50 @@
+type row = { rank : int; length : int; count : int; cumulative : int }
+
+type t = row list
+
+let of_lengths lengths =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    lengths;
+  let distinct =
+    Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+  in
+  let _, rows =
+    List.fold_left
+      (fun (cum, rows) (length, count) ->
+        let cumulative = cum + count in
+        ( cumulative,
+          { rank = List.length rows; length; count; cumulative } :: rows ))
+      (0, []) distinct
+  in
+  List.rev rows
+
+let select_i0 t ~threshold =
+  List.find_opt (fun r -> r.cumulative >= threshold) t
+  |> Option.map (fun r -> r.rank)
+
+let cutoff_length t ~rank =
+  match List.find_opt (fun r -> r.rank = rank) t with
+  | Some r -> r.length
+  | None -> invalid_arg "Histogram.cutoff_length: rank out of range"
+
+let to_table ?max_rows t =
+  let open Pdf_util.Table in
+  let table =
+    create [ ("i", Right); ("L_i", Right); ("n_p(L_i)", Right); ("N_p(L_i)", Right) ]
+  in
+  let rows =
+    match max_rows with
+    | None -> t
+    | Some n -> List.filteri (fun i _ -> i < n) t
+  in
+  List.iter
+    (fun r ->
+      add_row table
+        [ string_of_int r.rank; string_of_int r.length; string_of_int r.count;
+          string_of_int r.cumulative ])
+    rows;
+  table

@@ -1,0 +1,27 @@
+(** Path-length histograms: the quantities [n_p(L_i)] and [N_p(L_i)] of the
+    paper (Section 3.1, Table 2). *)
+
+type row = {
+  rank : int;  (** [i] — 0 for the longest length *)
+  length : int;  (** [L_i] *)
+  count : int;  (** [n_p(L_i)] — items of exactly this length *)
+  cumulative : int;  (** [N_p(L_i)] — items of this length or longer *)
+}
+
+type t = row list
+(** Rows in decreasing length order. *)
+
+val of_lengths : int list -> t
+(** Build from one length per item (paths or faults — the caller chooses
+    the granularity). *)
+
+val select_i0 : t -> threshold:int -> int option
+(** The smallest rank [i0] with [N_p(L_{i0}) >= threshold] — the paper's
+    rule for sizing [P0] with [threshold = N_P0].  [None] if even the full
+    set is smaller than [threshold]. *)
+
+val cutoff_length : t -> rank:int -> int
+(** [L_rank].  Raises [Invalid_argument] if out of range. *)
+
+val to_table : ?max_rows:int -> t -> Pdf_util.Table.t
+(** Render like the paper's Table 2 ([i], [L_i], [N_p(L_i)]). *)

@@ -1,0 +1,70 @@
+module Circuit = Pdf_circuit.Circuit
+
+type hop = { gate : int; pin : int }
+
+type t = { source : int; hops : hop array }
+
+let source_only source = { source; hops = [||] }
+
+let extend t hop = { t with hops = Array.append t.hops [| hop |] }
+
+let last_net c t =
+  let n = Array.length t.hops in
+  if n = 0 then t.source else Circuit.net_of_gate c t.hops.(n - 1).gate
+
+let nets c t =
+  t.source :: (Array.to_list t.hops |> List.map (fun h -> Circuit.net_of_gate c h.gate))
+
+let num_lines c t =
+  let lines = ref 1 in
+  let prev = ref t.source in
+  Array.iter
+    (fun h ->
+      if Circuit.fanout_count c !prev > 1 then incr lines;
+      incr lines;
+      prev := Circuit.net_of_gate c h.gate)
+    t.hops;
+  !lines
+
+let is_complete c t = (c : Circuit.t).is_po.(last_net c t)
+
+let well_formed c t =
+  Circuit.is_pi c t.source
+  &&
+  let prev = ref t.source and ok = ref true in
+  Array.iter
+    (fun h ->
+      let gates = (c : Circuit.t).gates in
+      if h.gate < 0 || h.gate >= Array.length gates then ok := false
+      else begin
+        let fanins = gates.(h.gate).Circuit.fanins in
+        if h.pin < 0 || h.pin >= Array.length fanins || fanins.(h.pin) <> !prev
+        then ok := false
+        else prev := Circuit.net_of_gate c h.gate
+      end)
+    t.hops;
+  !ok
+
+let equal a b =
+  a.source = b.source
+  && Array.length a.hops = Array.length b.hops
+  && Array.for_all2 (fun x y -> x.gate = y.gate && x.pin = y.pin) a.hops b.hops
+
+let compare a b =
+  let c = Int.compare a.source b.source in
+  if c <> 0 then c
+  else
+    let la = Array.length a.hops and lb = Array.length b.hops in
+    let rec go i =
+      if i >= la || i >= lb then Int.compare la lb
+      else
+        let c = Int.compare a.hops.(i).gate b.hops.(i).gate in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.hops.(i).pin b.hops.(i).pin in
+          if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let to_string c t =
+  "(" ^ String.concat "," (List.map (Circuit.net_name c) (nets c t)) ^ ")"

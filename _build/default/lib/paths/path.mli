@@ -1,0 +1,36 @@
+(** Physical circuit paths.
+
+    A path starts at a primary input and advances through gates; each hop
+    names the gate entered and the input pin used (the fanout branch, in
+    the paper's line terminology).  A path is complete when its last net is
+    a primary output. *)
+
+type hop = { gate : int; pin : int }
+
+type t = { source : int; hops : hop array }
+
+val source_only : int -> t
+
+val extend : t -> hop -> t
+
+val last_net : Pdf_circuit.Circuit.t -> t -> int
+
+val nets : Pdf_circuit.Circuit.t -> t -> int list
+(** All nets along the path, source first. *)
+
+val num_lines : Pdf_circuit.Circuit.t -> t -> int
+(** Lines in the paper's sense: one per net, plus one per traversed fanout
+    branch (a stem with fanout greater than one adds a branch line). *)
+
+val is_complete : Pdf_circuit.Circuit.t -> t -> bool
+
+val well_formed : Pdf_circuit.Circuit.t -> t -> bool
+(** The source is a PI and each hop's pin actually reads the previous
+    net. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : Pdf_circuit.Circuit.t -> t -> string
+(** Net names separated by commas, e.g. ["(G0,G14,G10)"]. *)

@@ -1,0 +1,76 @@
+module Circuit = Pdf_circuit.Circuit
+
+type t = {
+  period : int;
+  arrival : int array;
+  required : int array;
+  slack : int array;
+}
+
+let unreached = Distance.unreachable
+
+(* Longest arrival: the dual of Distance.compute — a forward pass in
+   topological order, accounting for branch weights on multi-fanout
+   stems the same way path lengths do. *)
+let arrivals (c : Circuit.t) (model : Delay_model.t) =
+  let n = Circuit.num_nets c in
+  let arrival = Array.make n unreached in
+  for pi = 0 to c.num_pis - 1 do
+    arrival.(pi) <- model.Delay_model.stem.(pi)
+  done;
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      let out = Circuit.net_of_gate c g in
+      let best = ref unreached in
+      Array.iter
+        (fun fanin ->
+          if arrival.(fanin) > unreached then begin
+            let via =
+              arrival.(fanin)
+              + Delay_model.branch_cost model c fanin
+              + model.Delay_model.stem.(out)
+            in
+            if via > !best then best := via
+          end)
+        gate.Circuit.fanins;
+      arrival.(out) <- !best)
+    c.gates;
+  arrival
+
+let compute ?period (c : Circuit.t) model =
+  let arrival = arrivals c model in
+  let suffix = Distance.compute c model in
+  let critical =
+    let best = ref 0 in
+    Array.iteri
+      (fun net a ->
+        if a > unreached && suffix.(net) > unreached && a + suffix.(net) > !best
+        then best := a + suffix.(net))
+      arrival;
+    !best
+  in
+  let period = match period with Some p -> p | None -> critical in
+  let n = Circuit.num_nets c in
+  let required =
+    Array.init n (fun net ->
+        if suffix.(net) <= unreached then unreached
+        else period - suffix.(net))
+  in
+  let slack =
+    Array.init n (fun net ->
+        if arrival.(net) <= unreached || required.(net) <= unreached then
+          max_int
+        else required.(net) - arrival.(net))
+  in
+  { period; arrival; required; slack }
+
+let critical_nets t =
+  let nets = ref [] in
+  Array.iteri
+    (fun net s -> if s <> max_int && s <= 0 then nets := net :: !nets)
+    t.slack;
+  List.rev !nets
+
+let net_on_critical_path t net = t.slack.(net) <> max_int && t.slack.(net) <= 0
+
+let path_slack t c model p = t.period - Delay_model.length model c p

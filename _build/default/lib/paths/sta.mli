@@ -1,0 +1,31 @@
+(** Static timing analysis over a delay model.
+
+    Classic longest-path arrival/required/slack computation.  A net's
+    {e arrival} time is the length of the longest partial path from any
+    primary input to (and including) the net; its {e required} time is
+    the clock period minus the longest suffix to any primary output; the
+    {e slack} is their difference.  Nets with zero slack (at the period
+    equal to the critical delay) are exactly the nets on critical paths —
+    the lines whose faults the paper's [P0] targets. *)
+
+type t = {
+  period : int;  (** the period used for required times *)
+  arrival : int array;  (** per net; {!unreached} if no PI reaches it *)
+  required : int array;  (** per net; {!unreached} if no PO is reachable *)
+  slack : int array;  (** [required - arrival]; meaningless if unreached *)
+}
+
+val unreached : int
+(** Sentinel ([Pdf_paths.Distance.unreachable]). *)
+
+val compute : ?period:int -> Pdf_circuit.Circuit.t -> Delay_model.t -> t
+(** [period] defaults to the critical delay, making the minimum slack
+    exactly 0. *)
+
+val critical_nets : t -> int list
+(** Nets with slack [<= 0] (on paths at least as long as the period). *)
+
+val net_on_critical_path : t -> int -> bool
+
+val path_slack : t -> Pdf_circuit.Circuit.t -> Delay_model.t -> Path.t -> int
+(** Slack of one complete path: [period - length]. *)

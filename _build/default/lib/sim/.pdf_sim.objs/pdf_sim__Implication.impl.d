@@ -1,0 +1,1 @@
+lib/sim/implication.ml: Array List Pdf_circuit Pdf_values

@@ -1,0 +1,1 @@
+lib/sim/implication.mli: Pdf_circuit Pdf_values

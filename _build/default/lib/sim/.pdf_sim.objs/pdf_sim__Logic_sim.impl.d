@@ -1,0 +1,1 @@
+lib/sim/logic_sim.ml: Array Pdf_circuit Pdf_values

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.mli: Pdf_circuit Pdf_values

@@ -1,0 +1,1 @@
+lib/sim/two_pattern.ml: Array List Logic_sim Pdf_circuit Pdf_values

@@ -1,0 +1,1 @@
+lib/sim/two_pattern.mli: Pdf_circuit Pdf_values

@@ -1,0 +1,29 @@
+(** Forward/backward implication of requirement values.
+
+    Used to eliminate undetectable faults: the values of [A(p)] are seeded
+    on circuit lines and implied through the circuit; if the implication
+    process assigns conflicting values to some line, the fault is
+    undetectable (paper, Section 3.1, elimination type 2).
+
+    Each of the three triple components is implied as an independent
+    three-valued layer with the standard D-algorithm style rules
+    (controlling-value forward rules, last-unjustified-input backward
+    rules).  The layers are coupled by two sound rules:
+    - on any net, a definite intermediate value implies the same initial
+      and final values;
+    - on a primary input, equal definite initial and final values imply the
+      same intermediate value (a stable input cannot glitch). *)
+
+type outcome =
+  | Consistent of Pdf_values.Triple.t array
+      (** fixpoint reached; per-net implied values (X = unknown) *)
+  | Conflict of { net : int; component : int }
+      (** some line was assigned both 0 and 1; [component] is 1, 2 or 3 *)
+
+val infer :
+  Pdf_circuit.Circuit.t -> (int * Pdf_values.Req.t) list -> outcome
+(** Seed the requirements and run implications to fixpoint. *)
+
+val consistent :
+  Pdf_circuit.Circuit.t -> (int * Pdf_values.Req.t) list -> bool
+(** [true] iff {!infer} reaches a fixpoint without conflict. *)

@@ -1,0 +1,54 @@
+module Bit = Pdf_values.Bit
+module Circuit = Pdf_circuit.Circuit
+module Gate = Pdf_circuit.Gate
+
+let eval_gate (values : Bit.t array) (g : Circuit.gate) =
+  let fanins = g.fanins in
+  if Array.length fanins = 1 then
+    match g.kind with
+    | Gate.Not -> Bit.not_ values.(fanins.(0))
+    | Gate.Buff -> values.(fanins.(0))
+    | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+      (* Arity is validated at construction; unary forms of binary kinds do
+         not occur.  Evaluate defensively anyway. *)
+      values.(fanins.(0))
+  else begin
+    let acc = ref values.(fanins.(0)) in
+    (match g.kind with
+    | Gate.And | Gate.Nand ->
+      for i = 1 to Array.length fanins - 1 do
+        acc := Bit.and_ !acc values.(fanins.(i))
+      done
+    | Gate.Or | Gate.Nor ->
+      for i = 1 to Array.length fanins - 1 do
+        acc := Bit.or_ !acc values.(fanins.(i))
+      done
+    | Gate.Xor | Gate.Xnor ->
+      for i = 1 to Array.length fanins - 1 do
+        acc := Bit.xor !acc values.(fanins.(i))
+      done
+    | Gate.Not | Gate.Buff -> ());
+    if Gate.inverting g.kind then Bit.not_ !acc else !acc
+  end
+
+let simulate (c : Circuit.t) pis =
+  if Array.length pis <> c.num_pis then
+    invalid_arg "Logic_sim.simulate: wrong number of PI values";
+  let n = Circuit.num_nets c in
+  let values = Array.make n Bit.X in
+  Array.blit pis 0 values 0 c.num_pis;
+  Array.iteri
+    (fun i g -> values.(c.num_pis + i) <- eval_gate values g)
+    c.gates;
+  values
+
+let simulate_bool c pis =
+  let values = simulate c (Array.map Bit.of_bool pis) in
+  Array.map
+    (fun v ->
+      match Bit.to_bool v with
+      | Some b -> b
+      | None -> assert false (* fully specified inputs => definite outputs *))
+    values
+
+let outputs (c : Circuit.t) values = Array.map (fun po -> values.(po)) c.pos

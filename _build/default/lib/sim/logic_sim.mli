@@ -1,0 +1,13 @@
+(** Single-pattern logic simulation over three-valued logic. *)
+
+val simulate :
+  Pdf_circuit.Circuit.t -> Pdf_values.Bit.t array -> Pdf_values.Bit.t array
+(** [simulate c pis] evaluates the whole circuit in one levelised pass.
+    [pis] must have length [c.num_pis]; the result has one value per net
+    (PIs first). *)
+
+val simulate_bool : Pdf_circuit.Circuit.t -> bool array -> bool array
+(** Fully specified two-valued convenience wrapper. *)
+
+val outputs : Pdf_circuit.Circuit.t -> 'a array -> 'a array
+(** Project a per-net array onto the primary outputs. *)

@@ -1,0 +1,31 @@
+(** Two-pattern (delay-test) simulation.
+
+    Each primary input carries a pair of values [(beta1, beta3)] — its value
+    under the first and second pattern.  Component 2 (the intermediate
+    value) of a PI is its common value when [beta1 = beta3] is definite, and
+    [X] otherwise.  Components are simulated independently in three-valued
+    logic; an internal net's intermediate value is therefore [X] whenever
+    the line could glitch — the classical conservative hazard semantics.
+    A (line, requirement) pair from an [A(p)] set is satisfied exactly when
+    the simulated triple matches every pinned component. *)
+
+type pi_pair = { b1 : Pdf_values.Bit.t; b3 : Pdf_values.Bit.t }
+
+val simulate :
+  Pdf_circuit.Circuit.t -> pi_pair array -> Pdf_values.Triple.t array
+(** Per-net triples for the given (possibly partial) PI assignment. *)
+
+val middle_of_pair : Pdf_values.Bit.t -> Pdf_values.Bit.t -> Pdf_values.Bit.t
+(** The intermediate value a PI presents: its common definite value, else
+    [X]. *)
+
+val satisfies :
+  Pdf_values.Triple.t array -> (int * Pdf_values.Req.t) list -> bool
+(** Do the simulated values meet every requirement (pinned components must
+    be definite and equal)? *)
+
+val first_violation :
+  Pdf_values.Triple.t array ->
+  (int * Pdf_values.Req.t) list ->
+  (int * Pdf_values.Req.t) option
+(** The first unmet requirement, for diagnostics. *)

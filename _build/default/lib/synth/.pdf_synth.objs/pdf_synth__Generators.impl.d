@@ -1,0 +1,1 @@
+lib/synth/generators.ml: Array Fun List Pdf_circuit Pdf_util Printf

@@ -1,0 +1,1 @@
+lib/synth/generators.mli: Pdf_circuit

@@ -1,0 +1,1 @@
+lib/synth/iscas.ml: Pdf_circuit Printf

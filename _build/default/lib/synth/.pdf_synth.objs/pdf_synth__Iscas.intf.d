@@ -1,0 +1,1 @@
+lib/synth/iscas.mli: Pdf_circuit

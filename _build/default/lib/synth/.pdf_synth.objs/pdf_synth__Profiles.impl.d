@@ -1,0 +1,1 @@
+lib/synth/profiles.ml: Generators Iscas Lazy List Pdf_circuit

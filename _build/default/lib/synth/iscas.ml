@@ -1,0 +1,48 @@
+let s27_bench =
+  "# s27 (ISCAS-89)\n\
+   INPUT(G0)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\n\
+   G6 = DFF(G11)\n\
+   G7 = DFF(G13)\n\
+   G14 = NOT(G0)\n\
+   G17 = NOT(G11)\n\
+   G8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\n\
+   G16 = OR(G3, G8)\n\
+   G9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\n\
+   G11 = NOR(G5, G9)\n\
+   G12 = NOR(G1, G7)\n\
+   G13 = NAND(G2, G12)\n"
+
+let c17_bench =
+  "# c17 (ISCAS-85)\n\
+   INPUT(N1)\n\
+   INPUT(N2)\n\
+   INPUT(N3)\n\
+   INPUT(N6)\n\
+   INPUT(N7)\n\
+   OUTPUT(N22)\n\
+   OUTPUT(N23)\n\
+   N10 = NAND(N1, N3)\n\
+   N11 = NAND(N3, N6)\n\
+   N16 = NAND(N2, N11)\n\
+   N19 = NAND(N11, N7)\n\
+   N22 = NAND(N10, N16)\n\
+   N23 = NAND(N16, N19)\n"
+
+let parse name text =
+  match Pdf_circuit.Bench_io.parse_string ~name text with
+  | Ok c -> c
+  | Error e ->
+    failwith
+      (Printf.sprintf "embedded netlist %s: %s" name
+         (Pdf_circuit.Bench_io.error_to_string e))
+
+let s27 () = parse "s27" s27_bench
+
+let c17 () = parse "c17" c17_bench

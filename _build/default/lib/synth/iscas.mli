@@ -1,0 +1,18 @@
+(** Embedded genuine benchmark netlists.
+
+    [s27] is printed in the paper itself (Figure 1) and is the canonical
+    ISCAS-89 example; [c17] is the smallest ISCAS-85 circuit.  Both are
+    public-domain teaching netlists.  The sequential [s27] is delivered as
+    its combinational logic (DFF outputs become pseudo-PIs, DFF inputs
+    pseudo-POs), exactly the form the paper works on. *)
+
+val s27 : unit -> Pdf_circuit.Circuit.t
+(** 7 combinational inputs (4 PIs + 3 flip-flop outputs), 4 outputs
+    (1 PO + 3 flip-flop inputs), 10 gates. *)
+
+val s27_bench : string
+(** The raw [.bench] text. *)
+
+val c17 : unit -> Pdf_circuit.Circuit.t
+
+val c17_bench : string

@@ -1,0 +1,42 @@
+type t = {
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Csv.add_row: row width does not match header";
+  t.rows <- row :: t.rows
+
+let of_table table =
+  let t = create ~header:(Table.headers table) in
+  List.iter (add_row t) (Table.rows table);
+  t
+
+let needs_quoting s =
+  String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n' || ch = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf ch)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render t =
+  let line cells = String.concat "," (List.map escape cells) in
+  String.concat "\n" (line t.header :: List.rev_map line t.rows) ^ "\n"
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (render t);
+  close_out oc

@@ -1,0 +1,18 @@
+(** Minimal CSV writing (RFC 4180 quoting) for experiment exports. *)
+
+type t
+
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Must match the header width. *)
+
+val of_table : Table.t -> t
+(** Reuse a text table's header and rows. *)
+
+val render : t -> string
+
+val write_file : t -> string -> unit
+
+val escape : string -> string
+(** Quote a single field if it contains commas, quotes or newlines. *)

@@ -1,0 +1,72 @@
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~leq = { leq; data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap x in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    not (t.leq t.data.(parent) t.data.(!i))
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(parent) in
+    t.data.(parent) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := parent
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let best = ref !i in
+    if l < t.size && not (t.leq t.data.(!best) t.data.(l)) then best := l;
+    if r < t.size && not (t.leq t.data.(!best) t.data.(r)) then best := r;
+    if !best = !i then continue := false
+    else begin
+      let tmp = t.data.(!best) in
+      t.data.(!best) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := !best
+    end
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    sift_down t;
+    Some top
+  end
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let rec pop_while t stale =
+  match pop t with
+  | None -> None
+  | Some x -> if stale x then pop_while t stale else Some x

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized component of the library (circuit generation, random
+    value selection during justification) draws from an explicit [Rng.t] so
+    that experiments reproduce bit-for-bit from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val split : t -> t
+(** Derive an independent child generator; the parent advances. *)

@@ -1,0 +1,71 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  columns : (string * align) list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?title columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match column count";
+  t.rows <- cells :: t.rows
+
+let add_int_row t label ints =
+  add_row t (label :: List.map string_of_int ints)
+
+let headers t = List.map fst t.columns
+
+let rows t = List.rev t.rows
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let fmt_line cells =
+    let parts =
+      List.map2
+        (fun (cell, (_, align)) width -> pad align width cell)
+        (List.combine cells t.columns)
+        widths
+    in
+    String.concat " | " parts
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (fmt_line headers);
+  Buffer.add_char buf '\n';
+  let total =
+    List.fold_left ( + ) 0 widths + (3 * (List.length widths - 1))
+  in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

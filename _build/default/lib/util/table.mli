@@ -1,0 +1,28 @@
+(** Plain-text table rendering for experiment reports.
+
+    Produces aligned, pipe-separated tables similar in spirit to the tables
+    of the paper, suitable for terminal output and for EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** [add_int_row t label ints] appends [label] followed by the integers. *)
+
+val headers : t -> string list
+
+val rows : t -> string list list
+(** In insertion order. *)
+
+val render : t -> string
+(** Render the table with aligned columns. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+lib/values/bit.ml: Format

@@ -1,0 +1,1 @@
+lib/values/req.ml: Bit Bytes Format String Triple

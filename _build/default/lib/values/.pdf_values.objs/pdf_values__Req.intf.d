@@ -1,0 +1,1 @@
+lib/values/req.mli: Bit Format Triple

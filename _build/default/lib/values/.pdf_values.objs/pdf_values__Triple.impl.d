@@ -1,0 +1,1 @@
+lib/values/triple.ml: Bit Bytes Format String

@@ -1,0 +1,1 @@
+lib/values/triple.mli: Bit Format

@@ -1,0 +1,33 @@
+(** Three-valued logic bit: [Zero], [One], or unknown [X].
+
+    This is the value domain of every simulation component in the library.
+    [X] reads as "unknown / possibly either" — in the middle component of a
+    two-pattern simulation it additionally reads as "may glitch". *)
+
+type t = Zero | One | X
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool option
+(** [Some b] for a definite value, [None] for [X]. *)
+
+val equal : t -> t -> bool
+
+val is_definite : t -> bool
+
+val not_ : t -> t
+
+val and_ : t -> t -> t
+(** Kleene conjunction: [Zero] dominates, [X] otherwise unless both [One]. *)
+
+val or_ : t -> t -> t
+
+val xor : t -> t -> t
+
+val char : t -> char
+(** ['0'], ['1'] or ['x']. *)
+
+val of_char : char -> t option
+(** Inverse of {!char}; accepts ['X'] too. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type component = Any | Must of bool
+
+type t = { r1 : component; r2 : component; r3 : component }
+
+let any = { r1 = Any; r2 = Any; r3 = Any }
+
+let stable b = { r1 = Must b; r2 = Must b; r3 = Must b }
+
+let final b = { r1 = Any; r2 = Any; r3 = Must b }
+
+let initial b = { r1 = Must b; r2 = Any; r3 = Any }
+
+let rising = { r1 = Must false; r2 = Any; r3 = Must true }
+
+let falling = { r1 = Must true; r2 = Any; r3 = Must false }
+
+let component_equal a b =
+  match a, b with
+  | Any, Any -> true
+  | Must x, Must y -> x = y
+  | (Any | Must _), _ -> false
+
+let equal a b =
+  component_equal a.r1 b.r1 && component_equal a.r2 b.r2
+  && component_equal a.r3 b.r3
+
+let is_any t = equal t any
+
+let merge_component a b =
+  match a, b with
+  | Any, c | c, Any -> Some c
+  | Must x, Must y -> if x = y then Some (Must x) else None
+
+let merge a b =
+  match
+    merge_component a.r1 b.r1, merge_component a.r2 b.r2,
+    merge_component a.r3 b.r3
+  with
+  | Some r1, Some r2, Some r3 -> Some { r1; r2; r3 }
+  | _, _, _ -> None
+
+let component_satisfied bit c =
+  match c with
+  | Any -> true
+  | Must b -> Bit.equal bit (Bit.of_bool b)
+
+let satisfied_by (triple : Triple.t) t =
+  component_satisfied triple.Triple.v1 t.r1
+  && component_satisfied triple.Triple.v2 t.r2
+  && component_satisfied triple.Triple.v3 t.r3
+
+let compatible_bit bit c =
+  match c, bit with
+  | Any, _ -> true
+  | Must _, Bit.X -> true
+  | Must b, (Bit.Zero | Bit.One) -> Bit.equal bit (Bit.of_bool b)
+
+let count_pinned t =
+  let one = function Any -> 0 | Must _ -> 1 in
+  one t.r1 + one t.r2 + one t.r3
+
+let component_of_char = function
+  | '0' -> Some (Must false)
+  | '1' -> Some (Must true)
+  | 'x' | 'X' -> Some Any
+  | _ -> None
+
+let of_string s =
+  if String.length s <> 3 then None
+  else
+    match
+      component_of_char s.[0], component_of_char s.[1],
+      component_of_char s.[2]
+    with
+    | Some r1, Some r2, Some r3 -> Some { r1; r2; r3 }
+    | _, _, _ -> None
+
+let component_char = function
+  | Any -> 'x'
+  | Must false -> '0'
+  | Must true -> '1'
+
+let to_string t =
+  let b = Bytes.create 3 in
+  Bytes.set b 0 (component_char t.r1);
+  Bytes.set b 1 (component_char t.r2);
+  Bytes.set b 2 (component_char t.r3);
+  Bytes.to_string b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,40 @@
+type t = { v1 : Bit.t; v2 : Bit.t; v3 : Bit.t }
+
+let make v1 v2 v3 = { v1; v2; v3 }
+
+let stable b =
+  let v = Bit.of_bool b in
+  { v1 = v; v2 = v; v3 = v }
+
+let rising = { v1 = Bit.Zero; v2 = Bit.X; v3 = Bit.One }
+
+let falling = { v1 = Bit.One; v2 = Bit.X; v3 = Bit.Zero }
+
+let unknown = { v1 = Bit.X; v2 = Bit.X; v3 = Bit.X }
+
+let equal a b =
+  Bit.equal a.v1 b.v1 && Bit.equal a.v2 b.v2 && Bit.equal a.v3 b.v3
+
+let is_stable t =
+  Bit.is_definite t.v1 && Bit.equal t.v1 t.v2 && Bit.equal t.v2 t.v3
+
+let has_transition t =
+  match Bit.to_bool t.v1, Bit.to_bool t.v3 with
+  | Some a, Some b -> a <> b
+  | (Some _ | None), _ -> false
+
+let of_string s =
+  if String.length s <> 3 then None
+  else
+    match Bit.of_char s.[0], Bit.of_char s.[1], Bit.of_char s.[2] with
+    | Some v1, Some v2, Some v3 -> Some { v1; v2; v3 }
+    | _, _, _ -> None
+
+let to_string t =
+  let b = Bytes.create 3 in
+  Bytes.set b 0 (Bit.char t.v1);
+  Bytes.set b 1 (Bit.char t.v2);
+  Bytes.set b 2 (Bit.char t.v3);
+  Bytes.to_string b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,39 @@
+(** Simulated value of a circuit line under a two-pattern test.
+
+    Following the paper's notation, a line carries a triple
+    [a1 a2 a3] where [a1] is the value under the first pattern, [a3] the
+    value under the second pattern, and [a2] the intermediate value.  A
+    stable value has [a1 = a2 = a3]; a rising transition is [0x1]; a falling
+    transition is [1x0].  An [X] in the middle component means the line may
+    glitch between the two patterns. *)
+
+type t = { v1 : Bit.t; v2 : Bit.t; v3 : Bit.t }
+
+val make : Bit.t -> Bit.t -> Bit.t -> t
+
+val stable : bool -> t
+(** [000] or [111]. *)
+
+val rising : t
+(** [0x1]. *)
+
+val falling : t
+(** [1x0]. *)
+
+val unknown : t
+(** [xxx]. *)
+
+val equal : t -> t -> bool
+
+val is_stable : t -> bool
+(** Definite and hazard-free: all three components equal and definite. *)
+
+val has_transition : t -> bool
+(** Definite initial and final values that differ. *)
+
+val of_string : string -> t option
+(** Parse a three-character string such as ["0x1"]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun List Option Pdf_circuit Pdf_core Pdf_faults Pdf_paths Pdf_sim Pdf_synth Pdf_util Pdf_values Printf QCheck QCheck_alcotest String

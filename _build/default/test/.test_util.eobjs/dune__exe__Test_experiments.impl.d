@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Option Pdf_experiments Pdf_synth String

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array Gen Hashtbl List Option Pdf_circuit Pdf_paths Pdf_synth Pdf_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Option Pdf_circuit Pdf_faults Pdf_paths Pdf_sim Pdf_synth Pdf_util Pdf_values QCheck QCheck_alcotest

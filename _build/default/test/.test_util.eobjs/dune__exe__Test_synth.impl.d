@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Fun List Option Pdf_circuit Pdf_paths Pdf_sim Pdf_synth Printf QCheck QCheck_alcotest String

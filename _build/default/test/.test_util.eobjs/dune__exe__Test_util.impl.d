@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Filename Fun Gen Int64 List Pdf_util QCheck QCheck_alcotest String Sys

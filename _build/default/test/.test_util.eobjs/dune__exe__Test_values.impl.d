@@ -1,0 +1,1 @@
+test/test_values.ml: Alcotest Gen List Option Pdf_values QCheck QCheck_alcotest String

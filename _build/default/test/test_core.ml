@@ -1,0 +1,1011 @@
+(* Tests for Pdf_core: two-pattern tests, justification, fault simulation,
+   compaction orderings, basic ATPG and the enrichment procedure. *)
+
+module Bit = Pdf_values.Bit
+module Req = Pdf_values.Req
+module Circuit = Pdf_circuit.Circuit
+module Delay_model = Pdf_paths.Delay_model
+module Fault = Pdf_faults.Fault
+module Robust = Pdf_faults.Robust
+module Target_sets = Pdf_faults.Target_sets
+module Test_pair = Pdf_core.Test_pair
+module Justify = Pdf_core.Justify
+module Fault_sim = Pdf_core.Fault_sim
+module Ordering = Pdf_core.Ordering
+module Atpg = Pdf_core.Atpg
+module Rng = Pdf_util.Rng
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let s27 = Pdf_synth.Iscas.s27 ()
+
+let s27_sets = Target_sets.build s27 (Delay_model.lines s27) ~n_p:40 ~n_p0:10
+let s27_faults = Fault_sim.prepare s27 s27_sets.Target_sets.p
+let s27_n0 = List.length s27_sets.Target_sets.p0
+let s27_p0 = List.init s27_n0 (fun i -> i)
+let s27_p1 =
+  List.init (Array.length s27_faults - s27_n0) (fun i -> s27_n0 + i)
+
+(* ------------------------------------------------------------------ *)
+(* Test_pair                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pair_basics () =
+  let t = Test_pair.create [| true; false |] [| false; false |] in
+  check Alcotest.string "render" "10/00" (Test_pair.to_string t);
+  check Alcotest.bool "equal self" true (Test_pair.equal t t);
+  let u = Test_pair.create [| true; false |] [| false; true |] in
+  check Alcotest.bool "not equal" false (Test_pair.equal t u)
+
+let test_pair_length_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Test_pair.create: pattern lengths differ") (fun () ->
+      ignore (Test_pair.create [| true |] [| true; false |]))
+
+let test_pair_simulate_matches_two_pattern () =
+  let t =
+    Test_pair.create
+      [| true; false; true; false; true; false; true |]
+      [| false; false; true; true; true; false; false |]
+  in
+  let values = Test_pair.simulate s27 t in
+  let direct = Pdf_sim.Two_pattern.simulate s27 (Test_pair.pi_pairs t) in
+  Array.iteri
+    (fun net v ->
+      check Alcotest.bool "same triple" true
+        (Pdf_values.Triple.equal v direct.(net)))
+    values
+
+(* ------------------------------------------------------------------ *)
+(* Justify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_justify_every_s27_fault () =
+  (* Every fault that survived the undetectability filter must be
+     justifiable in this tiny, highly testable circuit — and the returned
+     test must satisfy the fault's conditions exactly. *)
+  let engine = Justify.create s27 in
+  let rng = Rng.create 5 in
+  Array.iter
+    (fun (p : Fault_sim.prepared) ->
+      match Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+      | None ->
+        (* Random decisions may miss; retry a few times before failing. *)
+        let retried = ref false in
+        for _ = 1 to 20 do
+          if not !retried then
+            match Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+            | Some t ->
+              retried := true;
+              check Alcotest.bool "satisfies" true
+                (Test_pair.satisfies s27 t p.Fault_sim.reqs)
+            | None -> ()
+        done;
+        if not !retried then
+          Alcotest.failf "no test found for %s"
+            (Fault.to_string s27 p.Fault_sim.fault)
+      | Some t ->
+        check Alcotest.bool "satisfies" true
+          (Test_pair.satisfies s27 t p.Fault_sim.reqs))
+    s27_faults
+
+let test_justify_direct_conflict_returns_none () =
+  let engine = Justify.create s27 in
+  let rng = Rng.create 1 in
+  check Alcotest.bool "conflicting reqs" true
+    (Justify.run engine ~rng ~reqs:[ (0, Req.rising); (0, Req.falling) ] = None)
+
+let test_justify_unsatisfiable_internal () =
+  (* G8 = AND(G14, G6) with G14 = NOT(G0): requiring G8 stable 1 and G0
+     stable 1 is impossible. *)
+  let g8 = Option.get (Circuit.find_net s27 "G8") in
+  let g0 = Option.get (Circuit.find_net s27 "G0") in
+  let engine = Justify.create s27 in
+  let rng = Rng.create 1 in
+  check Alcotest.bool "unsatisfiable" true
+    (Justify.run engine ~rng
+       ~reqs:[ (g8, Req.stable true); (g0, Req.stable true) ]
+    = None)
+
+let test_justify_empty_reqs () =
+  let engine = Justify.create s27 in
+  let rng = Rng.create 1 in
+  match Justify.run engine ~rng ~reqs:[] with
+  | Some t ->
+    check Alcotest.int "full width" s27.Circuit.num_pis
+      (Array.length t.Test_pair.v1)
+  | None -> Alcotest.fail "empty requirements must be satisfiable"
+
+let test_justify_requirement_on_pi () =
+  let engine = Justify.create s27 in
+  let rng = Rng.create 1 in
+  match Justify.run engine ~rng ~reqs:[ (0, Req.rising) ] with
+  | Some t ->
+    check Alcotest.bool "pi rises" true
+      ((not t.Test_pair.v1.(0)) && t.Test_pair.v3.(0))
+  | None -> Alcotest.fail "pi transition must be satisfiable"
+
+let test_justify_counters () =
+  let engine = Justify.create s27 in
+  let rng = Rng.create 1 in
+  let before = Justify.runs engine in
+  ignore (Justify.run engine ~rng ~reqs:[]);
+  check Alcotest.int "runs counted" (before + 1) (Justify.runs engine);
+  check Alcotest.bool "trials monotone" true (Justify.trials engine >= 0)
+
+let test_justify_deterministic_given_seed () =
+  let run () =
+    let engine = Justify.create s27 in
+    let rng = Rng.create 42 in
+    Array.map
+      (fun (p : Fault_sim.prepared) ->
+        match Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+        | Some t -> Test_pair.to_string t
+        | None -> "-")
+      s27_faults
+  in
+  check Alcotest.(array string) "reproducible" (run ()) (run ())
+
+(* Property: on random small DAGs, any test returned by justification
+   satisfies the requirements it was asked for. *)
+let prop_justify_sound =
+  QCheck.Test.make ~name:"justified tests satisfy their requirements"
+    ~count:25
+    (QCheck.make (QCheck.Gen.int_range 0 100_000))
+    (fun seed ->
+      let params =
+        { Pdf_synth.Generators.num_pis = 6; num_gates = 25; window = 15;
+          max_fanout = 3; reuse_pct = 5; restart_pct = 0; fanin3_pct = 10;
+          inverter_pct = 25; po_taps = 1 }
+      in
+      let c = Pdf_synth.Generators.random_dag ~name:"rand" ~seed params in
+      let model = Delay_model.lines c in
+      let ts = Target_sets.build c model ~n_p:20 ~n_p0:6 in
+      let faults = Fault_sim.prepare c ts.Target_sets.p in
+      let engine = Justify.create c in
+      let rng = Rng.create seed in
+      Array.for_all
+        (fun (p : Fault_sim.prepared) ->
+          match Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+          | None -> true
+          | Some t -> Test_pair.satisfies c t p.Fault_sim.reqs)
+        faults)
+
+(* ------------------------------------------------------------------ *)
+(* Fault_sim                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_sim_ids_are_indices () =
+  Array.iteri
+    (fun i (p : Fault_sim.prepared) -> check Alcotest.int "id" i p.Fault_sim.id)
+    s27_faults
+
+let test_fault_sim_matches_satisfies () =
+  let t =
+    Test_pair.create
+      [| true; false; true; false; true; false; true |]
+      [| false; true; true; true; false; false; true |]
+  in
+  let detected = Fault_sim.detected_by_test s27 t s27_faults in
+  Array.iteri
+    (fun i d ->
+      check Alcotest.bool "agrees with satisfies" d
+        (Test_pair.satisfies s27 t s27_faults.(i).Fault_sim.reqs))
+    detected
+
+let test_fault_sim_union_over_tests () =
+  let t1 =
+    Test_pair.create (Array.make 7 false) (Array.make 7 true)
+  in
+  let t2 =
+    Test_pair.create (Array.make 7 true) (Array.make 7 false)
+  in
+  let d1 = Fault_sim.detected_by_test s27 t1 s27_faults in
+  let d2 = Fault_sim.detected_by_test s27 t2 s27_faults in
+  let both = Fault_sim.detected_by_tests s27 [ t1; t2 ] s27_faults in
+  Array.iteri
+    (fun i b -> check Alcotest.bool "union" (d1.(i) || d2.(i)) b)
+    both
+
+let test_fault_sim_count () =
+  check Alcotest.int "count" 2 (Fault_sim.count [| true; false; true |]);
+  check Alcotest.int "empty" 0 (Fault_sim.count [||])
+
+(* ------------------------------------------------------------------ *)
+(* Ordering                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ordering_names () =
+  List.iter
+    (fun o ->
+      check Alcotest.bool "roundtrip" true
+        (Ordering.of_name (Ordering.name o) = Some o))
+    Ordering.all;
+  check Alcotest.bool "long names" true
+    (Ordering.of_name "value-based" = Some Ordering.Value_based);
+  check Alcotest.bool "unknown" true (Ordering.of_name "zigzag" = None);
+  check Alcotest.int "four heuristics" 4 (List.length Ordering.all)
+
+(* ------------------------------------------------------------------ *)
+(* Atpg                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let faults0 = Array.of_list (List.map (fun i -> s27_faults.(i)) s27_p0)
+
+let run_basic ordering =
+  Atpg.basic s27 { Atpg.ordering; seed = 9 } ~faults:faults0
+
+let test_atpg_detected_flags_sound () =
+  (* The detected array must agree with an independent fault simulation of
+     the produced test set. *)
+  List.iter
+    (fun ordering ->
+      let res = run_basic ordering in
+      let resim = Fault_sim.detected_by_tests s27 res.Atpg.tests faults0 in
+      Array.iteri
+        (fun i d ->
+          check Alcotest.bool
+            (Printf.sprintf "%s fault %d" (Ordering.name ordering) i)
+            d res.Atpg.detected.(i))
+        resim)
+    Ordering.all
+
+let test_atpg_every_test_useful () =
+  (* Every generated test detects at least one target fault. *)
+  let res = run_basic Ordering.Value_based in
+  List.iter
+    (fun t ->
+      let d = Fault_sim.detected_by_test s27 t faults0 in
+      check Alcotest.bool "useful test" true (Fault_sim.count d > 0))
+    res.Atpg.tests
+
+let test_atpg_compaction_reduces_tests () =
+  let uncomp = run_basic Ordering.Uncompacted in
+  let values = run_basic Ordering.Value_based in
+  check Alcotest.bool "compaction no worse" true
+    (List.length values.Atpg.tests <= List.length uncomp.Atpg.tests);
+  (* Coverage must be roughly the same (identical on s27). *)
+  check Alcotest.int "same coverage"
+    (Fault_sim.count uncomp.Atpg.detected)
+    (Fault_sim.count values.Atpg.detected)
+
+let test_atpg_deterministic () =
+  let a = run_basic Ordering.Value_based in
+  let b = run_basic Ordering.Value_based in
+  check Alcotest.int "same tests" (List.length a.Atpg.tests)
+    (List.length b.Atpg.tests);
+  List.iter2
+    (fun x y -> check Alcotest.bool "same test vectors" true (Test_pair.equal x y))
+    a.Atpg.tests b.Atpg.tests
+
+let test_atpg_tests_bounded_by_primaries () =
+  let res = run_basic Ordering.Value_based in
+  check Alcotest.bool "tests <= primaries" true
+    (List.length res.Atpg.tests <= Array.length faults0)
+
+let test_enrich_detects_p0_like_basic () =
+  let basic = run_basic Ordering.Value_based in
+  let enrich = Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1 in
+  (* P0 coverage must not degrade (on s27 both reach full coverage). *)
+  check Alcotest.bool "P0 coverage at least as good" true
+    (Atpg.count_detected enrich ~ids:s27_p0
+    >= Fault_sim.count basic.Atpg.detected)
+
+let test_enrich_p1_beats_accidental () =
+  let basic = run_basic Ordering.Value_based in
+  let accidental = Fault_sim.detected_by_tests s27 basic.Atpg.tests s27_faults in
+  let acc_p1 =
+    List.fold_left (fun k i -> if accidental.(i) then k + 1 else k) 0 s27_p1
+  in
+  let enrich = Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1 in
+  let enr_p1 = Atpg.count_detected enrich ~ids:s27_p1 in
+  check Alcotest.bool "enrichment >= accidental on P1" true (enr_p1 >= acc_p1)
+
+let test_enrich_flags_sound () =
+  let enrich = Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1 in
+  let resim = Fault_sim.detected_by_tests s27 enrich.Atpg.tests s27_faults in
+  Array.iteri
+    (fun i d -> check Alcotest.bool "flag matches resim" d enrich.Atpg.detected.(i))
+    resim
+
+let test_enrich_empty_p1 () =
+  let ids = List.init (Array.length faults0) (fun i -> i) in
+  let res = Atpg.enrich s27 ~seed:9 ~faults:faults0 ~p0:ids ~p1:[] in
+  check Alcotest.bool "works with empty P1" true
+    (Fault_sim.count res.Atpg.detected > 0)
+
+let test_count_detected_subsets () =
+  let enrich = Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1 in
+  let total = Fault_sim.count enrich.Atpg.detected in
+  check Alcotest.int "subset counts add up" total
+    (Atpg.count_detected enrich ~ids:s27_p0
+    + Atpg.count_detected enrich ~ids:s27_p1)
+
+(* Property on random circuits: ATPG soundness — detected flags always
+   re-simulate; no test is useless. *)
+let prop_atpg_sound_random =
+  QCheck.Test.make ~name:"ATPG soundness on random DAGs" ~count:10
+    (QCheck.make (QCheck.Gen.int_range 0 100_000))
+    (fun seed ->
+      let params =
+        { Pdf_synth.Generators.num_pis = 8; num_gates = 40; window = 25;
+          max_fanout = 3; reuse_pct = 5; restart_pct = 0; fanin3_pct = 10;
+          inverter_pct = 30; po_taps = 1 }
+      in
+      let c = Pdf_synth.Generators.random_dag ~name:"rand" ~seed params in
+      let model = Delay_model.lines c in
+      let ts = Target_sets.build c model ~n_p:30 ~n_p0:10 in
+      let faults = Fault_sim.prepare c ts.Target_sets.p in
+      if Array.length faults = 0 then true
+      else begin
+        let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+        let p0 = List.init n0 (fun i -> i) in
+        let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+        let res = Atpg.enrich c ~seed ~faults ~p0 ~p1 in
+        let resim = Fault_sim.detected_by_tests c res.Atpg.tests faults in
+        resim = res.Atpg.detected
+        && List.for_all
+             (fun t ->
+               Fault_sim.count (Fault_sim.detected_by_test c t faults) > 0)
+             res.Atpg.tests
+      end)
+
+
+(* ------------------------------------------------------------------ *)
+(* Static compaction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Static = Pdf_core.Static_compaction
+
+let test_static_reverse_preserves_coverage () =
+  let res = run_basic Ordering.Uncompacted in
+  let compacted = Static.reverse_order s27 faults0 res.Atpg.tests in
+  check Alcotest.bool "coverage preserved" true
+    (Static.coverage_preserved s27 faults0 ~original:res.Atpg.tests
+       ~compacted);
+  check Alcotest.bool "not longer" true
+    (List.length compacted <= List.length res.Atpg.tests)
+
+let test_static_greedy_preserves_coverage () =
+  let res = run_basic Ordering.Uncompacted in
+  let compacted = Static.greedy_cover s27 faults0 res.Atpg.tests in
+  check Alcotest.bool "coverage preserved" true
+    (Static.coverage_preserved s27 faults0 ~original:res.Atpg.tests
+       ~compacted);
+  check Alcotest.bool "not longer" true
+    (List.length compacted <= List.length res.Atpg.tests)
+
+let test_static_drops_redundant () =
+  (* Duplicate the test set: at least half must be dropped. *)
+  let res = run_basic Ordering.Value_based in
+  let doubled = res.Atpg.tests @ res.Atpg.tests in
+  let reverse = Static.reverse_order s27 faults0 doubled in
+  let greedy = Static.greedy_cover s27 faults0 doubled in
+  check Alcotest.bool "reverse drops duplicates" true
+    (List.length reverse <= List.length res.Atpg.tests);
+  check Alcotest.bool "greedy drops duplicates" true
+    (List.length greedy <= List.length res.Atpg.tests)
+
+let test_static_empty () =
+  check Alcotest.int "reverse of empty" 0
+    (List.length (Static.reverse_order s27 faults0 []));
+  check Alcotest.int "greedy of empty" 0
+    (List.length (Static.greedy_cover s27 faults0 []))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Coverage = Pdf_core.Coverage
+
+let test_coverage_buckets () =
+  let res = run_basic Ordering.Value_based in
+  let cov = Coverage.of_flags faults0 res.Atpg.detected in
+  check Alcotest.int "total" (Array.length faults0) cov.Coverage.total;
+  check Alcotest.int "detected"
+    (Fault_sim.count res.Atpg.detected)
+    cov.Coverage.detected;
+  let bucket_total =
+    List.fold_left
+      (fun a (b : Coverage.bucket) -> a + b.Coverage.total)
+      0 cov.Coverage.buckets
+  in
+  let bucket_detected =
+    List.fold_left
+      (fun a (b : Coverage.bucket) -> a + b.Coverage.detected)
+      0 cov.Coverage.buckets
+  in
+  check Alcotest.int "buckets partition totals" cov.Coverage.total bucket_total;
+  check Alcotest.int "buckets partition detected" cov.Coverage.detected
+    bucket_detected;
+  (* Buckets sorted by decreasing length, each within range. *)
+  let rec sorted : Coverage.bucket list -> bool = function
+    | a :: (b :: _ as rest) ->
+      a.Coverage.length > b.Coverage.length && sorted rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "sorted" true (sorted cov.Coverage.buckets);
+  List.iter
+    (fun (b : Coverage.bucket) ->
+      check Alcotest.bool "detected <= total" true
+        (b.Coverage.detected <= b.Coverage.total))
+    cov.Coverage.buckets
+
+let test_coverage_percentage () =
+  let all = Coverage.of_flags faults0 (Array.make (Array.length faults0) true) in
+  check (Alcotest.float 0.01) "100%%" 100. (Coverage.percentage all);
+  let none = Coverage.of_flags faults0 (Array.make (Array.length faults0) false) in
+  check (Alcotest.float 0.01) "0%%" 0. (Coverage.percentage none);
+  let empty = Coverage.of_flags [||] [||] in
+  check (Alcotest.float 0.01) "empty set" 0. (Coverage.percentage empty)
+
+let test_coverage_tables_render () =
+  let res = run_basic Ordering.Value_based in
+  let cov = Coverage.of_flags faults0 res.Atpg.detected in
+  let s = Pdf_util.Table.render (Coverage.to_table cov) in
+  check Alcotest.bool "has all row" true
+    (let n = String.length s in
+     let rec go i = i + 3 <= n && (String.sub s i 3 = "all" || go (i + 1)) in
+     go 0);
+  let cmp =
+    Pdf_util.Table.render
+      (Coverage.comparison_table ~labels:[ "a"; "b" ] [ cov; cov ])
+  in
+  check Alcotest.bool "comparison non-empty" true (String.length cmp > 20)
+
+let test_coverage_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Coverage.of_flags: length mismatch") (fun () ->
+      ignore (Coverage.of_flags faults0 [| true |]))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-set enrichment                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_enrich_multi_matches_two_pool () =
+  let res2 = Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1 in
+  let multi =
+    Atpg.enrich_multi s27 ~seed:9 ~faults:s27_faults
+      ~pools:[ s27_p0; s27_p1 ]
+  in
+  check Alcotest.int "same tests" (List.length res2.Atpg.tests)
+    (List.length multi.Atpg.tests);
+  check Alcotest.bool "same detection" true
+    (res2.Atpg.detected = multi.Atpg.detected)
+
+let test_enrich_multi_three_pools_sound () =
+  let k = List.length s27_p1 / 2 in
+  let p1a = List.filteri (fun i _ -> i < k) s27_p1 in
+  let p1b = List.filteri (fun i _ -> i >= k) s27_p1 in
+  let res =
+    Atpg.enrich_multi s27 ~seed:9 ~faults:s27_faults ~pools:[ s27_p0; p1a; p1b ]
+  in
+  let resim = Fault_sim.detected_by_tests s27 res.Atpg.tests s27_faults in
+  check Alcotest.bool "flags sound" true (resim = res.Atpg.detected)
+
+let test_enrich_multi_no_pools () =
+  Alcotest.check_raises "empty pools"
+    (Invalid_argument "Atpg.enrich_multi: no pools") (fun () ->
+      ignore (Atpg.enrich_multi s27 ~seed:1 ~faults:s27_faults ~pools:[]))
+
+
+(* ------------------------------------------------------------------ *)
+(* Timing simulation (physical ground truth)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Timing = Pdf_core.Timing
+
+let s27_model = Delay_model.lines s27
+
+let test_timing_fault_free_matches_logic () =
+  (* Final settled values equal the plain logic simulation of v3. *)
+  let t =
+    Test_pair.create
+      [| true; false; true; false; true; false; true |]
+      [| false; true; true; true; false; false; true |]
+  in
+  let r = Timing.simulate s27 s27_model t in
+  let expected = Pdf_sim.Logic_sim.simulate_bool s27 t.Test_pair.v3 in
+  Array.iteri
+    (fun net w ->
+      check Alcotest.bool
+        (Printf.sprintf "net %d settles to v3 response" net)
+        expected.(net)
+        (Timing.final_value w))
+    r.Timing.waveforms;
+  (* Initial values equal the v1 response. *)
+  let initial = Pdf_sim.Logic_sim.simulate_bool s27 t.Test_pair.v1 in
+  Array.iteri
+    (fun net w -> check Alcotest.bool "initial is v1 response" initial.(net)
+        w.Timing.initial)
+    r.Timing.waveforms
+
+let test_timing_settle_within_period () =
+  (* Fault-free settling never exceeds the nominal critical delay. *)
+  let period = Timing.nominal_period s27 s27_model in
+  check Alcotest.int "period is the longest path length" 10 period;
+  let rng = Rng.create 17 in
+  for _ = 1 to 50 do
+    let bits () = Array.init 7 (fun _ -> Rng.bool rng) in
+    let t = Test_pair.create (bits ()) (bits ()) in
+    let r = Timing.simulate s27 s27_model t in
+    check Alcotest.bool "settles within period" true
+      (r.Timing.settle_time <= period)
+  done
+
+let test_timing_stable_inputs_quiet () =
+  let v = [| true; false; true; true; false; true; false |] in
+  let r = Timing.simulate s27 s27_model (Test_pair.create v v) in
+  check Alcotest.int "no events" 0 r.Timing.settle_time;
+  Array.iter
+    (fun w -> check Alcotest.int "no changes" 0 (List.length w.Timing.changes))
+    r.Timing.waveforms
+
+let test_timing_value_at () =
+  let w = { Timing.initial = false; changes = [ (3, true); (7, false) ] } in
+  check Alcotest.bool "before" false (Timing.value_at w 2);
+  check Alcotest.bool "at first change" true (Timing.value_at w 3);
+  check Alcotest.bool "between" true (Timing.value_at w 6);
+  check Alcotest.bool "after" false (Timing.value_at w 9);
+  check Alcotest.bool "final" false (Timing.final_value w)
+
+(* The central physical claim: a robust test detects the injected fault
+   whenever the fault consumes the slack, and never "detects" the fault
+   when no extra delay is injected. *)
+let test_timing_robust_tests_catch_slow_paths () =
+  let period = Timing.nominal_period s27 s27_model in
+  let engine = Justify.create s27 in
+  let rng = Rng.create 5 in
+  let checked = ref 0 in
+  Array.iter
+    (fun (p : Fault_sim.prepared) ->
+      match Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+      | None -> ()
+      | Some t ->
+        incr checked;
+        let slack = period - p.Fault_sim.length in
+        let inject =
+          { Timing.path = p.Fault_sim.fault.Fault.path; extra = slack + 1 }
+        in
+        check Alcotest.bool
+          (Printf.sprintf "physically detected: %s"
+             (Fault.to_string s27 p.Fault_sim.fault))
+          true
+          (Timing.detects s27 s27_model ~t_sample:period ~inject t);
+        check Alcotest.bool "no false positive without extra delay" false
+          (Timing.detects s27 s27_model ~t_sample:period
+             ~inject:{ inject with Timing.extra = 0 }
+             t))
+    s27_faults;
+  check Alcotest.bool "exercised at least 30 faults" true (!checked >= 30)
+
+let test_timing_small_fault_within_slack_hides () =
+  (* A short path with a small injected delay still meets timing: the
+     robust test must NOT flag it at the nominal period. *)
+  let period = Timing.nominal_period s27 s27_model in
+  let short =
+    Array.to_list s27_faults
+    |> List.filter (fun (p : Fault_sim.prepared) ->
+           period - p.Fault_sim.length > 2)
+  in
+  QCheck.assume (short <> []);
+  let engine = Justify.create s27 in
+  let rng = Rng.create 6 in
+  List.iter
+    (fun (p : Fault_sim.prepared) ->
+      match Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+      | None -> ()
+      | Some t ->
+        let inject =
+          { Timing.path = p.Fault_sim.fault.Fault.path; extra = 0 }
+        in
+        check Alcotest.bool "zero extra is never detected" false
+          (Timing.detects s27 s27_model ~t_sample:period ~inject t))
+    short
+
+
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound justification                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bnb_finds_and_satisfies () =
+  let engine = Justify.create s27 in
+  Array.iter
+    (fun (p : Fault_sim.prepared) ->
+      match Justify.run_complete engine ~reqs:p.Fault_sim.reqs with
+      | Justify.Found t ->
+        check Alcotest.bool "satisfies" true
+          (Test_pair.satisfies s27 t p.Fault_sim.reqs)
+      | Justify.Proved_unsatisfiable ->
+        (* Allowed only if the randomized search also never finds it;
+           on s27 everything kept by the filter is testable. *)
+        Alcotest.failf "bnb refuted a testable fault: %s"
+          (Fault.to_string s27 p.Fault_sim.fault)
+      | Justify.Gave_up -> Alcotest.fail "bnb budget too small for s27")
+    s27_faults
+
+let test_bnb_deterministic () =
+  let engine = Justify.create s27 in
+  let show p =
+    match Justify.run_complete engine ~reqs:p.Fault_sim.reqs with
+    | Justify.Found t -> Test_pair.to_string t
+    | Justify.Proved_unsatisfiable -> "unsat"
+    | Justify.Gave_up -> "gave-up"
+  in
+  Array.iter
+    (fun p -> check Alcotest.string "same result" (show p) (show p))
+    s27_faults
+
+let test_bnb_proves_unsatisfiable () =
+  let engine = Justify.create s27 in
+  let g8 = Option.get (Circuit.find_net s27 "G8") in
+  let g0 = Option.get (Circuit.find_net s27 "G0") in
+  check Alcotest.bool "direct conflict" true
+    (Justify.run_complete engine ~reqs:[ (0, Req.rising); (0, Req.falling) ]
+    = Justify.Proved_unsatisfiable);
+  check Alcotest.bool "internal contradiction" true
+    (Justify.run_complete engine
+       ~reqs:[ (g8, Req.stable true); (g0, Req.stable true) ]
+    = Justify.Proved_unsatisfiable)
+
+let test_bnb_at_least_as_strong_as_sim () =
+  let engine = Justify.create s27 in
+  let rng = Rng.create 77 in
+  Array.iter
+    (fun (p : Fault_sim.prepared) ->
+      let sim = Justify.run engine ~rng ~reqs:p.Fault_sim.reqs in
+      match sim, Justify.run_complete engine ~reqs:p.Fault_sim.reqs with
+      | Some _, Justify.Proved_unsatisfiable ->
+        Alcotest.fail "bnb refuted what sim satisfied"
+      | (Some _ | None), (Justify.Found _ | Justify.Proved_unsatisfiable
+        | Justify.Gave_up) -> ())
+    s27_faults
+
+(* Agreement with exhaustive search on c17: run_complete is a decision
+   procedure for requirement satisfiability (given enough budget). *)
+let test_bnb_complete_on_c17 () =
+  let c17 = Pdf_synth.Iscas.c17 () in
+  let engine = Justify.create c17 in
+  let rng = Rng.create 123 in
+  let kinds = [| Req.stable false; Req.stable true; Req.final false;
+                 Req.final true; Req.rising; Req.falling |] in
+  let brute reqs =
+    let found = ref false in
+    for a = 0 to 31 do
+      for b = 0 to 31 do
+        if not !found then begin
+          let bits v = Array.init 5 (fun i -> (v lsr i) land 1 = 1) in
+          let t = Test_pair.create (bits a) (bits b) in
+          if Test_pair.satisfies c17 t reqs then found := true
+        end
+      done
+    done;
+    !found
+  in
+  for _ = 1 to 100 do
+    let n_reqs = 1 + Rng.int rng 3 in
+    let reqs =
+      List.init n_reqs (fun _ ->
+          ( Rng.int rng (Circuit.num_nets c17),
+            kinds.(Rng.int rng (Array.length kinds)) ))
+    in
+    match Justify.run_complete ~max_backtracks:100_000 engine ~reqs with
+    | Justify.Found t ->
+      check Alcotest.bool "found test satisfies" true
+        (Test_pair.satisfies c17 t reqs);
+      check Alcotest.bool "brute force agrees satisfiable" true (brute reqs)
+    | Justify.Proved_unsatisfiable ->
+      check Alcotest.bool "brute force agrees unsatisfiable" false (brute reqs)
+    | Justify.Gave_up -> Alcotest.fail "budget exhausted on c17"
+  done
+
+
+
+(* Cross-validation of the conservative hazard algebra against the
+   event-driven ground truth: a definite middle value in the two-pattern
+   simulation guarantees a hazard-free line in the timing waveform. *)
+let prop_hazard_algebra_sound =
+  QCheck.Test.make ~name:"definite v2 implies hazard-free waveform"
+    ~count:300
+    (QCheck.make (QCheck.Gen.int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let bits () = Array.init 7 (fun _ -> Rng.bool rng) in
+      let t = Test_pair.create (bits ()) (bits ()) in
+      let triples = Test_pair.simulate s27 t in
+      let timed = Pdf_core.Timing.simulate s27 s27_model t in
+      let ok = ref true in
+      Array.iteri
+        (fun net (tr : Pdf_values.Triple.t) ->
+          let changes = List.length timed.Pdf_core.Timing.waveforms.(net).Pdf_core.Timing.changes in
+          match Pdf_values.Bit.to_bool tr.Pdf_values.Triple.v2 with
+          | Some _ when Pdf_values.Triple.is_stable tr ->
+            (* hazard-free constant: the waveform must be silent *)
+            if changes <> 0 then ok := false
+          | Some _ ->
+            (* hazard-free transition: exactly one change *)
+            if changes <> 1 then ok := false
+          | None -> ())
+        triples;
+      !ok)
+
+
+(* ------------------------------------------------------------------ *)
+(* Relaxation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Relax = Pdf_core.Relax
+
+let test_relax_preserves_detection () =
+  (* Relax each enriched test w.r.t. the faults it detects; every
+     completion (all-zeros, all-ones fill) must still detect them. *)
+  let tests =
+    (Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1)
+      .Atpg.tests
+  in
+  List.iter
+    (fun t ->
+      let detected = Fault_sim.detected_by_test s27 t s27_faults in
+      let keep =
+        Array.to_list s27_faults
+        |> List.filteri (fun i _ -> detected.(i))
+        |> List.map (fun (p : Fault_sim.prepared) -> p.Fault_sim.reqs)
+      in
+      let r = Relax.relax s27 t ~keep in
+      List.iter
+        (fun fill ->
+          let completed = Relax.completion r ~fill in
+          List.iter
+            (fun reqs ->
+              check Alcotest.bool "completion still detects" true
+                (Test_pair.satisfies s27 completed reqs))
+            keep)
+        [ false; true ])
+    tests
+
+let test_relax_frees_bits () =
+  (* Keeping a single fault must leave non-cone inputs free. *)
+  let p = s27_faults.(0) in
+  let engine = Justify.create s27 in
+  let rng = Rng.create 3 in
+  match Justify.run engine ~rng ~reqs:p.Fault_sim.reqs with
+  | None -> Alcotest.fail "fault should be testable"
+  | Some t ->
+    let r = Relax.relax s27 t ~keep:[ p.Fault_sim.reqs ] in
+    check Alcotest.bool "some bits freed" true (r.Relax.freed > 0);
+    check Alcotest.int "freed + specified = all bits"
+      (2 * s27.Circuit.num_pis)
+      (r.Relax.freed + Relax.specified_bits r)
+
+let test_relax_ignores_unsatisfied_sets () =
+  (* A requirement set the test never satisfied must not block
+     relaxation. *)
+  let t = Test_pair.create (Array.make 7 false) (Array.make 7 false) in
+  let impossible = [ (0, Req.rising) ] in
+  let r = Relax.relax s27 t ~keep:[ impossible ] in
+  check Alcotest.int "everything freed" (2 * 7) r.Relax.freed
+
+let test_relax_empty_keep () =
+  let t = Test_pair.create (Array.make 7 true) (Array.make 7 false) in
+  let r = Relax.relax s27 t ~keep:[] in
+  check Alcotest.int "all bits freed" (2 * 7) r.Relax.freed
+
+(* ------------------------------------------------------------------ *)
+(* Diagnosis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Diagnose = Pdf_core.Diagnose
+
+let s27_enriched_tests =
+  (Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1).Atpg.tests
+
+let test_diagnose_dictionary_shape () =
+  let d = Diagnose.dictionary s27 s27_enriched_tests s27_faults in
+  check Alcotest.int "rows = tests" (List.length s27_enriched_tests)
+    (Array.length d);
+  Array.iter
+    (fun row ->
+      check Alcotest.int "cols = faults" (Array.length s27_faults)
+        (Array.length row))
+    d
+
+let test_diagnose_all_pass () =
+  (* A fully passing device: every fault robustly covered by the test set
+     is eliminated; the survivors are exactly the uncovered ones. *)
+  let observed = List.map (fun _ -> false) s27_enriched_tests in
+  let verdicts = Diagnose.diagnose s27 s27_enriched_tests s27_faults ~observed in
+  let covered =
+    Fault_sim.detected_by_tests s27 s27_enriched_tests s27_faults
+  in
+  List.iter
+    (fun (v : Diagnose.verdict) ->
+      check Alcotest.bool "survivor is uncovered" false covered.(v.Diagnose.fault_id))
+    verdicts;
+  check Alcotest.int "survivors = uncovered faults"
+    (Array.length s27_faults - Fault_sim.count covered)
+    (List.length verdicts)
+
+let test_diagnose_length_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Diagnose.diagnose: observed/test length mismatch")
+    (fun () ->
+      ignore (Diagnose.diagnose s27 s27_enriched_tests s27_faults ~observed:[]))
+
+(* End-to-end: inject each fault physically, collect the pass/fail
+   signature from the timing simulator, and check the diagnosis ranks the
+   true fault first (or tied for first). *)
+let test_diagnose_end_to_end () =
+  let model = Delay_model.lines s27 in
+  let period = Pdf_core.Timing.nominal_period s27 model in
+  let tests = s27_enriched_tests in
+  let tried = ref 0 in
+  Array.iteri
+    (fun true_id (p : Fault_sim.prepared) ->
+      if true_id mod 3 = 0 then begin
+        (* sample every third fault to keep the test quick *)
+        let slack = period - p.Fault_sim.length in
+        let inject =
+          { Pdf_core.Timing.path = p.Fault_sim.fault.Fault.path;
+            extra = slack + 1 }
+        in
+        let observed =
+          List.map
+            (fun t ->
+              Pdf_core.Timing.detects s27 model ~t_sample:period ~inject t)
+            tests
+        in
+        if List.exists Fun.id observed then begin
+          incr tried;
+          let verdicts = Diagnose.diagnose s27 tests s27_faults ~observed in
+          (* The true fault must survive... *)
+          (match
+             List.find_opt
+               (fun (v : Diagnose.verdict) -> v.Diagnose.fault_id = true_id)
+               verdicts
+           with
+          | None ->
+            Alcotest.failf "true fault eliminated: %s"
+              (Fault.to_string s27 p.Fault_sim.fault)
+          | Some v ->
+            (* ... and be tied with the best explanation count. *)
+            let best =
+              match verdicts with
+              | x :: _ -> x.Diagnose.maybe_explained
+              | [] -> 0
+            in
+            check Alcotest.int
+              (Printf.sprintf "true fault explains best (%s)"
+                 (Fault.to_string s27 p.Fault_sim.fault))
+              best v.Diagnose.maybe_explained)
+        end
+      end)
+    s27_faults;
+  check Alcotest.bool "exercised several faults" true (!tried >= 8)
+
+let () =
+  Alcotest.run "pdf_core"
+    [
+      ( "test_pair",
+        [
+          Alcotest.test_case "basics" `Quick test_pair_basics;
+          Alcotest.test_case "length mismatch" `Quick test_pair_length_mismatch;
+          Alcotest.test_case "simulate matches two-pattern" `Quick
+            test_pair_simulate_matches_two_pattern;
+        ] );
+      ( "justify",
+        [
+          Alcotest.test_case "every s27 fault" `Quick test_justify_every_s27_fault;
+          Alcotest.test_case "direct conflict" `Quick
+            test_justify_direct_conflict_returns_none;
+          Alcotest.test_case "unsatisfiable internal" `Quick
+            test_justify_unsatisfiable_internal;
+          Alcotest.test_case "empty reqs" `Quick test_justify_empty_reqs;
+          Alcotest.test_case "requirement on PI" `Quick
+            test_justify_requirement_on_pi;
+          Alcotest.test_case "counters" `Quick test_justify_counters;
+          Alcotest.test_case "deterministic" `Quick
+            test_justify_deterministic_given_seed;
+          qcheck prop_justify_sound;
+        ] );
+      ( "fault_sim",
+        [
+          Alcotest.test_case "ids are indices" `Quick test_fault_sim_ids_are_indices;
+          Alcotest.test_case "matches satisfies" `Quick
+            test_fault_sim_matches_satisfies;
+          Alcotest.test_case "union over tests" `Quick test_fault_sim_union_over_tests;
+          Alcotest.test_case "count" `Quick test_fault_sim_count;
+        ] );
+      ( "ordering",
+        [ Alcotest.test_case "names" `Quick test_ordering_names ] );
+      ( "atpg",
+        [
+          Alcotest.test_case "detected flags sound" `Quick
+            test_atpg_detected_flags_sound;
+          Alcotest.test_case "every test useful" `Quick test_atpg_every_test_useful;
+          Alcotest.test_case "compaction reduces tests" `Quick
+            test_atpg_compaction_reduces_tests;
+          Alcotest.test_case "deterministic" `Quick test_atpg_deterministic;
+          Alcotest.test_case "tests bounded by primaries" `Quick
+            test_atpg_tests_bounded_by_primaries;
+          Alcotest.test_case "enrich P0 coverage" `Quick
+            test_enrich_detects_p0_like_basic;
+          Alcotest.test_case "enrich beats accidental P1" `Quick
+            test_enrich_p1_beats_accidental;
+          Alcotest.test_case "enrich flags sound" `Quick test_enrich_flags_sound;
+          Alcotest.test_case "enrich with empty P1" `Quick test_enrich_empty_p1;
+          Alcotest.test_case "count_detected subsets" `Quick
+            test_count_detected_subsets;
+          qcheck prop_atpg_sound_random;
+        ] );
+      ( "static_compaction",
+        [
+          Alcotest.test_case "reverse preserves coverage" `Quick
+            test_static_reverse_preserves_coverage;
+          Alcotest.test_case "greedy preserves coverage" `Quick
+            test_static_greedy_preserves_coverage;
+          Alcotest.test_case "drops redundant" `Quick test_static_drops_redundant;
+          Alcotest.test_case "empty" `Quick test_static_empty;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "buckets" `Quick test_coverage_buckets;
+          Alcotest.test_case "percentage" `Quick test_coverage_percentage;
+          Alcotest.test_case "tables render" `Quick test_coverage_tables_render;
+          Alcotest.test_case "mismatch" `Quick test_coverage_mismatch;
+        ] );
+      ( "relax",
+        [
+          Alcotest.test_case "preserves detection" `Quick
+            test_relax_preserves_detection;
+          Alcotest.test_case "frees bits" `Quick test_relax_frees_bits;
+          Alcotest.test_case "ignores unsatisfied sets" `Quick
+            test_relax_ignores_unsatisfied_sets;
+          Alcotest.test_case "empty keep" `Quick test_relax_empty_keep;
+        ] );
+      ( "diagnose",
+        [
+          Alcotest.test_case "dictionary shape" `Quick
+            test_diagnose_dictionary_shape;
+          Alcotest.test_case "all pass" `Quick test_diagnose_all_pass;
+          Alcotest.test_case "length mismatch" `Quick
+            test_diagnose_length_mismatch;
+          Alcotest.test_case "end to end with timing sim" `Slow
+            test_diagnose_end_to_end;
+        ] );
+      ( "justify_bnb",
+        [
+          Alcotest.test_case "finds and satisfies" `Quick
+            test_bnb_finds_and_satisfies;
+          Alcotest.test_case "deterministic" `Quick test_bnb_deterministic;
+          Alcotest.test_case "proves unsatisfiable" `Quick
+            test_bnb_proves_unsatisfiable;
+          Alcotest.test_case "at least as strong as sim" `Quick
+            test_bnb_at_least_as_strong_as_sim;
+          Alcotest.test_case "complete on c17 (vs brute force)" `Slow
+            test_bnb_complete_on_c17;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "fault-free matches logic sim" `Quick
+            test_timing_fault_free_matches_logic;
+          Alcotest.test_case "settles within period" `Quick
+            test_timing_settle_within_period;
+          Alcotest.test_case "stable inputs quiet" `Quick
+            test_timing_stable_inputs_quiet;
+          Alcotest.test_case "value_at" `Quick test_timing_value_at;
+          Alcotest.test_case "robust tests catch slow paths" `Quick
+            test_timing_robust_tests_catch_slow_paths;
+          Alcotest.test_case "within-slack faults hide" `Quick
+            test_timing_small_fault_within_slack_hides;
+          qcheck prop_hazard_algebra_sound;
+        ] );
+      ( "enrich_multi",
+        [
+          Alcotest.test_case "matches two-pool enrich" `Quick
+            test_enrich_multi_matches_two_pool;
+          Alcotest.test_case "three pools sound" `Quick
+            test_enrich_multi_three_pools_sound;
+          Alcotest.test_case "no pools" `Quick test_enrich_multi_no_pools;
+        ] );
+    ]

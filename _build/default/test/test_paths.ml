@@ -1,0 +1,562 @@
+(* Tests for Pdf_paths: paths, delay models, distance, bounded
+   enumeration, histograms. *)
+
+module Circuit = Pdf_circuit.Circuit
+module Gate = Pdf_circuit.Gate
+module Builder = Pdf_circuit.Builder
+module Path = Pdf_paths.Path
+module Delay_model = Pdf_paths.Delay_model
+module Distance = Pdf_paths.Distance
+module Enumerate = Pdf_paths.Enumerate
+module Histogram = Pdf_paths.Histogram
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let s27 = Pdf_synth.Iscas.s27 ()
+let c17 = Pdf_synth.Iscas.c17 ()
+
+let hop_into c gate_out prev =
+  let net name = Option.get (Circuit.find_net c name) in
+  match Circuit.gate_of_net c (net gate_out) with
+  | None -> assert false
+  | Some g ->
+    let fanins = (c : Circuit.t).gates.(g).Circuit.fanins in
+    let pin = ref (-1) in
+    Array.iteri (fun i f -> if f = net prev then pin := i) fanins;
+    assert (!pin >= 0);
+    { Path.gate = g; pin = !pin }
+
+let s27_path names =
+  match names with
+  | [] -> assert false
+  | src :: rest ->
+    let p = ref (Path.source_only (Option.get (Circuit.find_net s27 src))) in
+    let prev = ref src in
+    List.iter
+      (fun n ->
+        p := Path.extend !p (hop_into s27 n !prev);
+        prev := n)
+      rest;
+    !p
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_path_basics () =
+  let p = s27_path [ "G1"; "G12"; "G13" ] in
+  check Alcotest.bool "well formed" true (Path.well_formed s27 p);
+  check Alcotest.bool "complete (G13 is pseudo-PO)" true (Path.is_complete s27 p);
+  check Alcotest.int "last net" (Option.get (Circuit.find_net s27 "G13"))
+    (Path.last_net s27 p);
+  check
+    Alcotest.(list int)
+    "nets"
+    [ Option.get (Circuit.find_net s27 "G1");
+      Option.get (Circuit.find_net s27 "G12");
+      Option.get (Circuit.find_net s27 "G13") ]
+    (Path.nets s27 p);
+  check Alcotest.string "to_string" "(G1,G12,G13)" (Path.to_string s27 p)
+
+let test_path_num_lines_counts_branches () =
+  (* G12 fans out to G15 and G13, so leaving G12 crosses a branch line. *)
+  let p = s27_path [ "G1"; "G12"; "G13" ] in
+  check Alcotest.int "lines" 4 (Path.num_lines s27 p);
+  (* G16 has a single consumer: no branch line. *)
+  let q = s27_path [ "G3"; "G16"; "G9" ] in
+  check Alcotest.int "lines (no branch)" 3 (Path.num_lines s27 q)
+
+let test_path_source_only () =
+  let p = Path.source_only 0 in
+  check Alcotest.bool "well formed" true (Path.well_formed s27 p);
+  check Alcotest.int "one line" 1 (Path.num_lines s27 p);
+  check Alcotest.bool "incomplete" false (Path.is_complete s27 p)
+
+let test_path_ill_formed () =
+  (* A hop whose pin does not read the previous net. *)
+  let p = s27_path [ "G1"; "G12" ] in
+  let bogus = Path.extend p { Path.gate = 0; pin = 0 } in
+  check Alcotest.bool "ill formed" false (Path.well_formed s27 bogus);
+  (* A path starting at a non-PI net. *)
+  let internal = Option.get (Circuit.find_net s27 "G12") in
+  check Alcotest.bool "non-PI source" false
+    (Path.well_formed s27 (Path.source_only internal))
+
+let test_path_compare_equal () =
+  let p = s27_path [ "G1"; "G12"; "G13" ] in
+  let q = s27_path [ "G1"; "G12"; "G15" ] in
+  check Alcotest.bool "equal self" true (Path.equal p p);
+  check Alcotest.bool "not equal" false (Path.equal p q);
+  check Alcotest.bool "compare consistent" true
+    (Path.compare p q <> 0 && Path.compare p p = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Delay models and distance                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_delay_models () =
+  let p = s27_path [ "G1"; "G12"; "G13" ] in
+  let lines = Delay_model.lines s27 in
+  check Alcotest.int "lines model = num_lines" (Path.num_lines s27 p)
+    (Delay_model.length lines s27 p);
+  let gates = Delay_model.unit_gates s27 in
+  check Alcotest.int "unit gates = nets" 3 (Delay_model.length gates s27 p)
+
+let test_delay_model_per_kind () =
+  let m =
+    Delay_model.per_kind s27 ~pi_weight:0 ~branch_weight:0 (fun kind ->
+        match kind with Gate.Not | Gate.Buff -> 1 | _ -> 2)
+  in
+  (* G12 is a NOR (2), G13 a NAND (2); source weight 0. *)
+  let p = s27_path [ "G1"; "G12"; "G13" ] in
+  check Alcotest.int "per kind" 4 (Delay_model.length m s27 p)
+
+let test_delay_model_random_deterministic () =
+  let m1 = Delay_model.random s27 (Pdf_util.Rng.create 5) ~min:1 ~max:4 in
+  let m2 = Delay_model.random s27 (Pdf_util.Rng.create 5) ~min:1 ~max:4 in
+  check Alcotest.bool "same seed same weights" true
+    (m1.Delay_model.stem = m2.Delay_model.stem);
+  Array.iter
+    (fun w -> if w < 1 || w > 4 then Alcotest.failf "weight out of range %d" w)
+    m1.Delay_model.stem
+
+(* Brute-force all paths from a net to the POs (tiny circuits only). *)
+let all_suffix_lengths c model net =
+  let rec go net =
+    let here = if (c : Circuit.t).is_po.(net) then [ 0 ] else [] in
+    let via =
+      Array.to_list c.Circuit.fanouts.(net)
+      |> List.concat_map (fun (g, _) ->
+             let out = Circuit.net_of_gate c g in
+             List.map
+               (fun d ->
+                 Delay_model.branch_cost model c net
+                 + model.Delay_model.stem.(out) + d)
+               (go out))
+    in
+    here @ via
+  in
+  go net
+
+let test_distance_matches_brute_force () =
+  List.iter
+    (fun c ->
+      let model = Delay_model.lines c in
+      let d = Distance.compute c model in
+      for net = 0 to Circuit.num_nets c - 1 do
+        let expected =
+          match all_suffix_lengths c model net with
+          | [] -> Distance.unreachable
+          | ls -> List.fold_left max min_int ls
+        in
+        check Alcotest.int
+          (Printf.sprintf "d(%s)" (Circuit.net_name c net))
+          expected d.(net)
+      done)
+    [ s27; c17 ]
+
+let test_len_bound () =
+  let model = Delay_model.lines s27 in
+  let d = Distance.compute s27 model in
+  let p = s27_path [ "G1"; "G12" ] in
+  let len = Delay_model.length model s27 p in
+  (* Longest completion through G12: via G15, G9, G11 and a final branch. *)
+  let bound = Distance.len_bound d s27 p len in
+  (* Must be at least the length of the known completion (G1,G12,G15,G9,G11,G17): *)
+  let full = s27_path [ "G1"; "G12"; "G15"; "G9"; "G11"; "G17" ] in
+  check Alcotest.bool "bound covers completion" true
+    (bound >= Delay_model.length model s27 full)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate_s27_unbounded () =
+  let model = Delay_model.lines s27 in
+  let r = Enumerate.enumerate s27 model ~max_paths:1000 in
+  (* s27's combinational logic has exactly 28 complete paths. *)
+  check Alcotest.int "total paths" 28 (List.length r.Enumerate.paths);
+  check Alcotest.int "no evictions" 0 r.Enumerate.evicted;
+  List.iter
+    (fun (p, len) ->
+      check Alcotest.bool "well formed" true (Path.well_formed s27 p);
+      check Alcotest.bool "complete" true (Path.is_complete s27 p);
+      check Alcotest.int "length consistent" (Delay_model.length model s27 p) len)
+    r.Enumerate.paths
+
+let test_enumerate_sorted_desc () =
+  let model = Delay_model.lines s27 in
+  let r = Enumerate.enumerate s27 model ~max_paths:1000 in
+  let lens = List.map snd r.Enumerate.paths in
+  check Alcotest.bool "descending" true
+    (List.for_all2 (fun a b -> a >= b)
+       (List.filteri (fun i _ -> i < List.length lens - 1) lens)
+       (List.tl lens))
+
+let test_enumerate_no_duplicates () =
+  let model = Delay_model.lines s27 in
+  let r = Enumerate.enumerate s27 model ~max_paths:1000 in
+  let sorted = List.sort Path.compare (List.map fst r.Enumerate.paths) in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> Path.equal a b || dup rest
+    | [ _ ] | [] -> false
+  in
+  check Alcotest.bool "no duplicates" false (dup sorted)
+
+let test_enumerate_bounded_keeps_longest () =
+  let model = Delay_model.lines s27 in
+  let full = Enumerate.enumerate s27 model ~max_paths:1000 in
+  let bounded = Enumerate.enumerate s27 model ~max_paths:12 in
+  (* The longest path of the full enumeration must survive the bound. *)
+  let (longest, longest_len), _ =
+    (List.hd full.Enumerate.paths, ())
+  in
+  check Alcotest.bool "longest survives" true
+    (List.exists
+       (fun (p, len) -> len = longest_len && Path.equal p longest)
+       bounded.Enumerate.paths);
+  check Alcotest.bool "bound respected" true
+    (List.length bounded.Enumerate.paths <= 12)
+
+let test_enumerate_simple_vs_distance_top () =
+  let model = Delay_model.lines s27 in
+  let a = Enumerate.enumerate ~mode:Enumerate.Simple s27 model ~max_paths:20 in
+  let b = Enumerate.enumerate s27 model ~max_paths:20 in
+  (* Both modes must find the same longest paths (the four length-10 ones). *)
+  let top r =
+    List.filter (fun (_, l) -> l = 10) r.Enumerate.paths
+    |> List.map fst |> List.sort Path.compare
+  in
+  check Alcotest.int "same number of longest" (List.length (top a))
+    (List.length (top b));
+  List.iter2
+    (fun p q -> check Alcotest.bool "same longest paths" true (Path.equal p q))
+    (top a) (top b)
+
+let test_enumerate_truncation () =
+  let model = Delay_model.lines s27 in
+  let r = Enumerate.enumerate ~max_steps:3 s27 model ~max_paths:1000 in
+  check Alcotest.bool "truncated" true r.Enumerate.truncated
+
+let test_enumerate_events_recorded () =
+  let model = Delay_model.lines s27 in
+  let r =
+    Enumerate.enumerate ~mode:Enumerate.Simple ~record_events:true s27 model
+      ~max_paths:20
+  in
+  let completions =
+    List.length
+      (List.filter
+         (function Enumerate.Completed _ -> true | Enumerate.Evicted _ -> false)
+         r.Enumerate.events)
+  in
+  let evictions =
+    List.length
+      (List.filter
+         (function Enumerate.Evicted _ -> true | Enumerate.Completed _ -> false)
+         r.Enumerate.events)
+  in
+  check Alcotest.int "completions = final + evicted completes" completions
+    (List.length r.Enumerate.paths + evictions);
+  check Alcotest.int "evictions counted" r.Enumerate.evicted evictions
+
+let test_enumerate_bad_bound () =
+  let model = Delay_model.lines s27 in
+  Alcotest.check_raises "bound" (Invalid_argument "Enumerate.enumerate: max_paths <= 0")
+    (fun () -> ignore (Enumerate.enumerate s27 model ~max_paths:0))
+
+(* Property over random circuits: every enumerated path is well-formed,
+   complete, correctly measured, and within the bound. *)
+let prop_enumerate_invariants =
+  let arb = QCheck.make (QCheck.Gen.int_range 0 10_000) in
+  QCheck.Test.make ~name:"enumeration invariants on random DAGs" ~count:20 arb
+    (fun seed ->
+      let params =
+        { Pdf_synth.Generators.num_pis = 8; num_gates = 40; window = 20;
+          max_fanout = 3; reuse_pct = 10; restart_pct = 5; fanin3_pct = 10;
+          inverter_pct = 25; po_taps = 2 }
+      in
+      let c = Pdf_synth.Generators.random_dag ~name:"rand" ~seed params in
+      let model = Delay_model.lines c in
+      let r = Enumerate.enumerate c model ~max_paths:50 in
+      List.for_all
+        (fun (p, len) ->
+          Path.well_formed c p && Path.is_complete c p
+          && Delay_model.length model c p = len)
+        r.Enumerate.paths)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_basics () =
+  let h = Histogram.of_lengths [ 5; 5; 3; 7; 3; 3 ] in
+  (match h with
+  | [ a; b; c ] ->
+    check Alcotest.int "rank0 len" 7 a.Histogram.length;
+    check Alcotest.int "rank0 count" 1 a.Histogram.count;
+    check Alcotest.int "rank0 cumulative" 1 a.Histogram.cumulative;
+    check Alcotest.int "rank1 len" 5 b.Histogram.length;
+    check Alcotest.int "rank1 cumulative" 3 b.Histogram.cumulative;
+    check Alcotest.int "rank2 len" 3 c.Histogram.length;
+    check Alcotest.int "rank2 cumulative" 6 c.Histogram.cumulative
+  | _ -> Alcotest.failf "expected 3 rows, got %d" (List.length h));
+  check Alcotest.(option int) "i0 for threshold 2" (Some 1)
+    (Histogram.select_i0 h ~threshold:2);
+  check Alcotest.(option int) "i0 for threshold 6" (Some 2)
+    (Histogram.select_i0 h ~threshold:6);
+  check Alcotest.(option int) "unreachable threshold" None
+    (Histogram.select_i0 h ~threshold:7);
+  check Alcotest.int "cutoff" 5 (Histogram.cutoff_length h ~rank:1)
+
+let test_histogram_empty () =
+  check Alcotest.int "empty" 0 (List.length (Histogram.of_lengths []))
+
+let prop_histogram_invariants =
+  QCheck.Test.make ~name:"histogram counts and cumulative sums" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 1 50))
+    (fun lengths ->
+      let h = Histogram.of_lengths lengths in
+      let total = List.fold_left (fun a r -> a + r.Histogram.count) 0 h in
+      let last_cum =
+        match List.rev h with r :: _ -> r.Histogram.cumulative | [] -> 0
+      in
+      let decreasing =
+        let rec go = function
+          | a :: (b :: _ as rest) ->
+            a.Histogram.length > b.Histogram.length
+            && a.Histogram.cumulative < b.Histogram.cumulative
+            && go rest
+          | [ _ ] | [] -> true
+        in
+        go h
+      in
+      total = List.length lengths && last_cum = total && decreasing)
+
+let prop_histogram_i0_minimal =
+  QCheck.Test.make ~name:"select_i0 is the minimal adequate rank" ~count:200
+    QCheck.(
+      pair (list_of_size (Gen.int_range 1 60) (int_range 1 30)) (int_range 1 40))
+    (fun (lengths, threshold) ->
+      let h = Histogram.of_lengths lengths in
+      match Histogram.select_i0 h ~threshold with
+      | None -> List.length lengths < threshold
+      | Some i0 ->
+        let cum rank =
+          match List.find_opt (fun r -> r.Histogram.rank = rank) h with
+          | Some r -> r.Histogram.cumulative
+          | None -> max_int
+        in
+        cum i0 >= threshold && (i0 = 0 || cum (i0 - 1) < threshold))
+
+
+(* ------------------------------------------------------------------ *)
+(* Count                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_count_total_matches_enumeration () =
+  List.iter
+    (fun c ->
+      let model = Delay_model.lines c in
+      let r = Enumerate.enumerate c model ~max_paths:100_000 in
+      check Alcotest.int
+        (Printf.sprintf "total paths of %s" c.Circuit.name)
+        (List.length r.Enumerate.paths)
+        (int_of_float (Pdf_paths.Count.total c)))
+    [ s27; c17;
+      Pdf_synth.Generators.ripple_adder ~bits:4;
+      Pdf_synth.Generators.mux_cascade ~selects:3 ]
+
+let test_count_through_po_cone () =
+  (* paths through a PI = number of complete paths starting there. *)
+  let model = Delay_model.lines s27 in
+  let r = Enumerate.enumerate s27 model ~max_paths:100_000 in
+  let through = Pdf_paths.Count.through s27 in
+  for pi = 0 to s27.Circuit.num_pis - 1 do
+    let expected =
+      List.length
+        (List.filter (fun (p, _) -> p.Path.source = pi) r.Enumerate.paths)
+    in
+    check Alcotest.int
+      (Printf.sprintf "paths through PI %s" (Circuit.net_name s27 pi))
+      expected
+      (int_of_float through.(pi))
+  done
+
+let test_count_to_from_consistency () =
+  (* to_net of a PI is 1; from_net of a fanout-free PO is 1. *)
+  let into = Pdf_paths.Count.to_net s27 in
+  let from = Pdf_paths.Count.from_net s27 in
+  for pi = 0 to s27.Circuit.num_pis - 1 do
+    check Alcotest.int "to_net PI" 1 (int_of_float into.(pi))
+  done;
+  let g17 = Option.get (Circuit.find_net s27 "G17") in
+  check Alcotest.int "from_net sink PO" 1 (int_of_float from.(g17))
+
+let test_count_longest () =
+  let model = Delay_model.lines s27 in
+  let r = Enumerate.enumerate s27 model ~max_paths:100_000 in
+  let max_len = List.fold_left (fun a (_, l) -> max a l) 0 r.Enumerate.paths in
+  let n_max =
+    List.length (List.filter (fun (_, l) -> l = max_len) r.Enumerate.paths)
+  in
+  let len, count = Pdf_paths.Count.longest s27 model in
+  check Alcotest.int "longest length" max_len len;
+  check Alcotest.int "longest count" n_max (int_of_float count)
+
+let prop_count_agrees_with_enumeration =
+  QCheck.Test.make ~name:"count agrees with enumeration on random DAGs"
+    ~count:20
+    (QCheck.make (QCheck.Gen.int_range 0 10_000))
+    (fun seed ->
+      let params =
+        { Pdf_synth.Generators.num_pis = 6; num_gates = 25; window = 12;
+          max_fanout = 3; reuse_pct = 15; restart_pct = 0; fanin3_pct = 10;
+          inverter_pct = 20; po_taps = 2 }
+      in
+      let c = Pdf_synth.Generators.random_dag ~name:"rand" ~seed params in
+      let model = Delay_model.lines c in
+      let r = Enumerate.enumerate c model ~max_paths:100_000 in
+      (not r.Enumerate.truncated) && r.Enumerate.evicted = 0
+      && List.length r.Enumerate.paths = int_of_float (Pdf_paths.Count.total c))
+
+
+(* ------------------------------------------------------------------ *)
+(* STA                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sta = Pdf_paths.Sta
+
+let test_sta_critical_period () =
+  let model = Delay_model.lines s27 in
+  let sta = Sta.compute s27 model in
+  (* Default period = critical delay = longest path length. *)
+  let len, _ = Pdf_paths.Count.longest s27 model in
+  check Alcotest.int "period" len sta.Sta.period;
+  (* Minimum slack is exactly zero. *)
+  let min_slack =
+    Array.fold_left
+      (fun acc s -> if s <> max_int then min acc s else acc)
+      max_int sta.Sta.slack
+  in
+  check Alcotest.int "min slack" 0 min_slack
+
+let test_sta_critical_nets_are_on_longest_paths () =
+  let model = Delay_model.lines s27 in
+  let sta = Sta.compute s27 model in
+  let r = Enumerate.enumerate s27 model ~max_paths:100 in
+  let len, _ = Pdf_paths.Count.longest s27 model in
+  let on_longest = Hashtbl.create 32 in
+  List.iter
+    (fun (p, l) ->
+      if l = len then
+        List.iter (fun net -> Hashtbl.replace on_longest net ()) (Path.nets s27 p))
+    r.Enumerate.paths;
+  (* Every critical net lies on some longest path, and vice versa. *)
+  List.iter
+    (fun net ->
+      check Alcotest.bool
+        (Printf.sprintf "critical net %s on a longest path"
+           (Circuit.net_name s27 net))
+        true
+        (Hashtbl.mem on_longest net))
+    (Sta.critical_nets sta);
+  Hashtbl.iter
+    (fun net () ->
+      check Alcotest.bool "longest-path net is critical" true
+        (Sta.net_on_critical_path sta net))
+    on_longest
+
+let test_sta_arrival_matches_path_lengths () =
+  (* arrival(net) is the max length over enumerated partial paths ending
+     at the net: check at the POs using complete paths. *)
+  let model = Delay_model.lines s27 in
+  let sta = Sta.compute s27 model in
+  let r = Enumerate.enumerate s27 model ~max_paths:100 in
+  Array.iter
+    (fun po ->
+      let longest_into =
+        List.fold_left
+          (fun acc (p, l) -> if Path.last_net s27 p = po then max acc l else acc)
+          0 r.Enumerate.paths
+      in
+      if longest_into > 0 then
+        check Alcotest.int
+          (Printf.sprintf "arrival at %s" (Circuit.net_name s27 po))
+          longest_into sta.Sta.arrival.(po))
+    s27.Circuit.pos
+
+let test_sta_explicit_period () =
+  let model = Delay_model.lines s27 in
+  let sta = Sta.compute ~period:20 s27 model in
+  check Alcotest.int "period respected" 20 sta.Sta.period;
+  (* With a relaxed period nothing is critical. *)
+  check Alcotest.int "no critical nets" 0 (List.length (Sta.critical_nets sta));
+  let p = s27_path [ "G1"; "G12"; "G13" ] in
+  check Alcotest.int "path slack" (20 - Path.num_lines s27 p)
+    (Sta.path_slack sta s27 model p)
+
+let () =
+  Alcotest.run "pdf_paths"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "basics" `Quick test_path_basics;
+          Alcotest.test_case "num_lines counts branches" `Quick
+            test_path_num_lines_counts_branches;
+          Alcotest.test_case "source only" `Quick test_path_source_only;
+          Alcotest.test_case "ill formed" `Quick test_path_ill_formed;
+          Alcotest.test_case "compare/equal" `Quick test_path_compare_equal;
+        ] );
+      ( "delay_distance",
+        [
+          Alcotest.test_case "delay models" `Quick test_delay_models;
+          Alcotest.test_case "per kind model" `Quick test_delay_model_per_kind;
+          Alcotest.test_case "random model deterministic" `Quick
+            test_delay_model_random_deterministic;
+          Alcotest.test_case "distance matches brute force" `Quick
+            test_distance_matches_brute_force;
+          Alcotest.test_case "len bound" `Quick test_len_bound;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "s27 unbounded" `Quick test_enumerate_s27_unbounded;
+          Alcotest.test_case "sorted descending" `Quick test_enumerate_sorted_desc;
+          Alcotest.test_case "no duplicates" `Quick test_enumerate_no_duplicates;
+          Alcotest.test_case "bounded keeps longest" `Quick
+            test_enumerate_bounded_keeps_longest;
+          Alcotest.test_case "simple vs distance agree on top" `Quick
+            test_enumerate_simple_vs_distance_top;
+          Alcotest.test_case "truncation flag" `Quick test_enumerate_truncation;
+          Alcotest.test_case "events recorded" `Quick test_enumerate_events_recorded;
+          Alcotest.test_case "bad bound" `Quick test_enumerate_bad_bound;
+          qcheck prop_enumerate_invariants;
+        ] );
+      ( "sta",
+        [
+          Alcotest.test_case "critical period" `Quick test_sta_critical_period;
+          Alcotest.test_case "critical nets on longest paths" `Quick
+            test_sta_critical_nets_are_on_longest_paths;
+          Alcotest.test_case "arrival matches path lengths" `Quick
+            test_sta_arrival_matches_path_lengths;
+          Alcotest.test_case "explicit period" `Quick test_sta_explicit_period;
+        ] );
+      ( "count",
+        [
+          Alcotest.test_case "total matches enumeration" `Quick
+            test_count_total_matches_enumeration;
+          Alcotest.test_case "through PI cone" `Quick test_count_through_po_cone;
+          Alcotest.test_case "to/from consistency" `Quick
+            test_count_to_from_consistency;
+          Alcotest.test_case "longest" `Quick test_count_longest;
+          qcheck prop_count_agrees_with_enumeration;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          qcheck prop_histogram_invariants;
+          qcheck prop_histogram_i0_minimal;
+        ] );
+    ]

@@ -1,0 +1,316 @@
+(* Tests for Pdf_sim: logic simulation, two-pattern simulation, and the
+   implication engine (checked against brute force on small circuits). *)
+
+module Bit = Pdf_values.Bit
+module Triple = Pdf_values.Triple
+module Req = Pdf_values.Req
+module Circuit = Pdf_circuit.Circuit
+module Gate = Pdf_circuit.Gate
+module Builder = Pdf_circuit.Builder
+module Logic_sim = Pdf_sim.Logic_sim
+module Two_pattern = Pdf_sim.Two_pattern
+module Implication = Pdf_sim.Implication
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let bit = Alcotest.testable Bit.pp Bit.equal
+
+let c17 = Pdf_synth.Iscas.c17 ()
+let s27 = Pdf_synth.Iscas.s27 ()
+
+(* Reference model of c17 (from the netlist). *)
+let c17_reference n1 n2 n3 n6 n7 =
+  let nand a b = not (a && b) in
+  let n10 = nand n1 n3 and n11 = nand n3 n6 in
+  let n16 = nand n2 n11 and n19 = nand n11 n7 in
+  (nand n10 n16, nand n16 n19)
+
+let test_logic_sim_c17_exhaustive () =
+  for v = 0 to 31 do
+    let b i = (v lsr i) land 1 = 1 in
+    let pis = [| b 0; b 1; b 2; b 3; b 4 |] in
+    let values = Logic_sim.simulate_bool c17 pis in
+    let e22, e23 = c17_reference (b 0) (b 1) (b 2) (b 3) (b 4) in
+    check Alcotest.bool "N22" e22 values.(c17.Circuit.pos.(0));
+    check Alcotest.bool "N23" e23 values.(c17.Circuit.pos.(1))
+  done
+
+let test_logic_sim_x_inputs () =
+  (* All-X inputs leave every gate output X in c17 (no constant logic). *)
+  let values = Logic_sim.simulate c17 (Array.make 5 Bit.X) in
+  Array.iter (fun po -> check bit "X out" Bit.X values.(po)) c17.Circuit.pos
+
+let test_logic_sim_partial_definite () =
+  (* N3=0 forces N10 = N11 = 1 regardless of the other inputs. *)
+  let pis = Array.make 5 Bit.X in
+  pis.(2) <- Bit.Zero;
+  (* N3 is the third declared input *)
+  let values = Logic_sim.simulate c17 pis in
+  let n10 = Option.get (Circuit.find_net c17 "N10") in
+  let n11 = Option.get (Circuit.find_net c17 "N11") in
+  check bit "N10 forced" Bit.One values.(n10);
+  check bit "N11 forced" Bit.One values.(n11)
+
+let test_logic_sim_wrong_arity () =
+  Alcotest.check_raises "wrong PI count"
+    (Invalid_argument "Logic_sim.simulate: wrong number of PI values")
+    (fun () -> ignore (Logic_sim.simulate c17 (Array.make 3 Bit.X)))
+
+(* Monotonicity: refining X inputs to definite values never changes an
+   already-definite internal value. *)
+let prop_logic_sim_monotone =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (array_size (return 5) (oneofl [ Bit.Zero; Bit.One; Bit.X ]))
+        (array_size (return 5) bool))
+  in
+  QCheck.Test.make ~name:"three-valued sim is monotone" ~count:300
+    (QCheck.make gen)
+    (fun (partial, refinement) ->
+      let refined =
+        Array.mapi
+          (fun i v ->
+            match v with
+            | Bit.X -> Bit.of_bool refinement.(i)
+            | (Bit.Zero | Bit.One) as d -> d)
+          partial
+      in
+      let v1 = Logic_sim.simulate c17 partial in
+      let v2 = Logic_sim.simulate c17 refined in
+      Array.for_all2
+        (fun a b -> (not (Bit.is_definite a)) || Bit.equal a b)
+        v1 v2)
+
+(* ------------------------------------------------------------------ *)
+(* Two-pattern simulation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pairs_of v1 v3 =
+  Array.init (Array.length v1) (fun i ->
+      { Two_pattern.b1 = v1.(i); b3 = v3.(i) })
+
+let test_two_pattern_ends_match_single () =
+  let rng = Pdf_util.Rng.create 123 in
+  for _ = 1 to 50 do
+    let v1 = Array.init 5 (fun _ -> Bit.of_bool (Pdf_util.Rng.bool rng)) in
+    let v3 = Array.init 5 (fun _ -> Bit.of_bool (Pdf_util.Rng.bool rng)) in
+    let triples = Two_pattern.simulate c17 (pairs_of v1 v3) in
+    let s1 = Logic_sim.simulate c17 v1 in
+    let s3 = Logic_sim.simulate c17 v3 in
+    Array.iteri
+      (fun net t ->
+        check bit "v1 component" s1.(net) t.Triple.v1;
+        check bit "v3 component" s3.(net) t.Triple.v3)
+      triples
+  done
+
+let test_two_pattern_stable_inputs_stable_everywhere () =
+  let v = Array.init 5 (fun i -> Bit.of_bool (i mod 2 = 0)) in
+  let triples = Two_pattern.simulate c17 (pairs_of v v) in
+  Array.iter
+    (fun t -> check Alcotest.bool "stable" true (Triple.is_stable t))
+    triples
+
+let test_two_pattern_middle_x_on_change () =
+  let v1 = Array.make 5 Bit.Zero and v3 = Array.make 5 Bit.One in
+  let triples = Two_pattern.simulate c17 (pairs_of v1 v3) in
+  (* Every changing PI must carry an X middle value. *)
+  for pi = 0 to 4 do
+    check bit "middle x" Bit.X triples.(pi).Triple.v2
+  done
+
+let test_middle_of_pair () =
+  check bit "stable 0" Bit.Zero (Two_pattern.middle_of_pair Bit.Zero Bit.Zero);
+  check bit "stable 1" Bit.One (Two_pattern.middle_of_pair Bit.One Bit.One);
+  check bit "changing" Bit.X (Two_pattern.middle_of_pair Bit.Zero Bit.One);
+  check bit "half specified" Bit.X (Two_pattern.middle_of_pair Bit.X Bit.One)
+
+let test_satisfies_and_violation () =
+  let v = Array.make 5 Bit.One in
+  let triples = Two_pattern.simulate c17 (pairs_of v v) in
+  let n10 = Option.get (Circuit.find_net c17 "N10") in
+  (* N10 = NAND(1,1) = 0 stable. *)
+  check Alcotest.bool "satisfied" true
+    (Two_pattern.satisfies triples [ (n10, Req.stable false) ]);
+  check Alcotest.bool "violated" false
+    (Two_pattern.satisfies triples [ (n10, Req.stable true) ]);
+  match Two_pattern.first_violation triples [ (n10, Req.final true) ] with
+  | Some (net, _) -> check Alcotest.int "violating net" n10 net
+  | None -> Alcotest.fail "expected a violation"
+
+(* The middle component is conservative: if it is definite, then the value
+   is also the v1/v3 value (no glitch possible). *)
+let prop_two_pattern_middle_conservative =
+  let gen =
+    QCheck.Gen.(pair (array_size (return 5) bool) (array_size (return 5) bool))
+  in
+  QCheck.Test.make ~name:"definite middle implies stable ends" ~count:300
+    (QCheck.make gen)
+    (fun (b1, b3) ->
+      let v1 = Array.map Bit.of_bool b1 and v3 = Array.map Bit.of_bool b3 in
+      let triples = Two_pattern.simulate c17 (pairs_of v1 v3) in
+      Array.for_all
+        (fun t ->
+          (not (Bit.is_definite t.Triple.v2))
+          || (Bit.equal t.Triple.v1 t.Triple.v2
+              && Bit.equal t.Triple.v2 t.Triple.v3))
+        triples)
+
+(* ------------------------------------------------------------------ *)
+(* Implication                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Brute-force satisfiability of a requirement set on c17: try all 1024
+   two-pattern input combinations. *)
+let brute_force_satisfiable reqs =
+  let found = ref false in
+  for a = 0 to 31 do
+    for b = 0 to 31 do
+      if not !found then begin
+        let v1 = Array.init 5 (fun i -> Bit.of_bool ((a lsr i) land 1 = 1)) in
+        let v3 = Array.init 5 (fun i -> Bit.of_bool ((b lsr i) land 1 = 1)) in
+        let triples = Two_pattern.simulate c17 (pairs_of v1 v3) in
+        if Two_pattern.satisfies triples reqs then found := true
+      end
+    done
+  done;
+  !found
+
+let test_implication_soundness_c17 () =
+  (* If implication reports a conflict, the requirements really are
+     unsatisfiable.  Probe many random requirement sets. *)
+  let rng = Pdf_util.Rng.create 77 in
+  let kinds = [| Req.stable false; Req.stable true; Req.final false;
+                 Req.final true; Req.rising; Req.falling |] in
+  let num_nets = Circuit.num_nets c17 in
+  for _ = 1 to 200 do
+    let n_reqs = 1 + Pdf_util.Rng.int rng 3 in
+    let reqs =
+      List.init n_reqs (fun _ ->
+          ( Pdf_util.Rng.int rng num_nets,
+            kinds.(Pdf_util.Rng.int rng (Array.length kinds)) ))
+    in
+    match Implication.infer c17 reqs with
+    | Implication.Consistent _ -> ()
+    | Implication.Conflict _ ->
+      if brute_force_satisfiable reqs then
+        Alcotest.failf "implication claimed conflict on satisfiable reqs"
+  done
+
+let test_implication_detects_direct_conflict () =
+  let n10 = Option.get (Circuit.find_net c17 "N10") in
+  match
+    Implication.infer c17 [ (n10, Req.stable true); (n10, Req.stable false) ]
+  with
+  | Implication.Conflict _ -> ()
+  | Implication.Consistent _ -> Alcotest.fail "expected conflict"
+
+let test_implication_forward_backward () =
+  (* Requiring N22 = stable 0 forces N10 = N16 = stable 1 (NAND backward),
+     which in turn forces N1 = N3 = stable... N10 = NAND(N1,N3) = 1 does
+     not pin its inputs.  But N16 = 1 and N22 = 0 pin nothing more; check
+     the forced values only. *)
+  let n22 = Option.get (Circuit.find_net c17 "N22") in
+  let n10 = Option.get (Circuit.find_net c17 "N10") in
+  let n16 = Option.get (Circuit.find_net c17 "N16") in
+  match Implication.infer c17 [ (n22, Req.stable false) ] with
+  | Implication.Conflict _ -> Alcotest.fail "unexpected conflict"
+  | Implication.Consistent values ->
+    check bit "N10 v2 forced to 1" Bit.One values.(n10).Triple.v2;
+    check bit "N16 v2 forced to 1" Bit.One values.(n16).Triple.v2;
+    check bit "N10 v1 forced too" Bit.One values.(n10).Triple.v1
+
+let test_implication_pi_coupling () =
+  (* A stable requirement on a PI's middle value pins both patterns. *)
+  let n1 = Option.get (Circuit.find_net c17 "N1") in
+  match
+    Implication.infer c17
+      [ (n1, { Req.r1 = Req.Any; r2 = Req.Must true; r3 = Req.Any }) ]
+  with
+  | Implication.Conflict _ -> Alcotest.fail "unexpected conflict"
+  | Implication.Consistent values ->
+    check bit "v1 pinned" Bit.One values.(n1).Triple.v1;
+    check bit "v3 pinned" Bit.One values.(n1).Triple.v3
+
+let test_implication_transition_vs_stable () =
+  (* Asking a PI to both rise and stay stable is a conflict found through
+     the PI coupling rule. *)
+  let n1 = Option.get (Circuit.find_net c17 "N1") in
+  match
+    Implication.infer c17 [ (n1, Req.rising); (n1, Req.stable true) ]
+  with
+  | Implication.Conflict _ -> ()
+  | Implication.Consistent _ -> Alcotest.fail "expected conflict"
+
+let test_implication_consistent_helper () =
+  let n22 = Option.get (Circuit.find_net c17 "N22") in
+  check Alcotest.bool "consistent" true
+    (Implication.consistent c17 [ (n22, Req.final true) ]);
+  let n1 = Option.get (Circuit.find_net c17 "N1") in
+  check Alcotest.bool "inconsistent" false
+    (Implication.consistent c17 [ (n1, Req.rising); (n1, Req.falling) ])
+
+(* Completeness-ish sanity on s27: the robust conditions of every fault
+   kept by the undetectability filter must be implication-consistent (by
+   construction of the filter), and a justified test must satisfy them. *)
+let test_implication_agrees_with_filter () =
+  let model = Pdf_paths.Delay_model.lines s27 in
+  let r = Pdf_paths.Enumerate.enumerate s27 model ~max_paths:50 in
+  let faults =
+    List.concat_map (fun (p, _) -> Pdf_faults.Fault.both p) r.Pdf_paths.Enumerate.paths
+  in
+  List.iter
+    (fun f ->
+      match Pdf_faults.Robust.conditions s27 f with
+      | None -> ()
+      | Some reqs ->
+        let filter_says =
+          Pdf_faults.Undetectable.classify s27 f = Pdf_faults.Undetectable.Maybe_detectable
+        in
+        let implication_says = Implication.consistent s27 reqs in
+        check Alcotest.bool "filter = implication on merged conditions"
+          implication_says filter_says)
+    faults
+
+let () =
+  Alcotest.run "pdf_sim"
+    [
+      ( "logic_sim",
+        [
+          Alcotest.test_case "c17 exhaustive" `Quick test_logic_sim_c17_exhaustive;
+          Alcotest.test_case "x inputs" `Quick test_logic_sim_x_inputs;
+          Alcotest.test_case "partial definite" `Quick test_logic_sim_partial_definite;
+          Alcotest.test_case "wrong arity" `Quick test_logic_sim_wrong_arity;
+          qcheck prop_logic_sim_monotone;
+        ] );
+      ( "two_pattern",
+        [
+          Alcotest.test_case "ends match single-pattern sims" `Quick
+            test_two_pattern_ends_match_single;
+          Alcotest.test_case "stable inputs stay stable" `Quick
+            test_two_pattern_stable_inputs_stable_everywhere;
+          Alcotest.test_case "middle x on change" `Quick
+            test_two_pattern_middle_x_on_change;
+          Alcotest.test_case "middle_of_pair" `Quick test_middle_of_pair;
+          Alcotest.test_case "satisfies / first_violation" `Quick
+            test_satisfies_and_violation;
+          qcheck prop_two_pattern_middle_conservative;
+        ] );
+      ( "implication",
+        [
+          Alcotest.test_case "soundness vs brute force (c17)" `Slow
+            test_implication_soundness_c17;
+          Alcotest.test_case "direct conflict" `Quick
+            test_implication_detects_direct_conflict;
+          Alcotest.test_case "forward/backward" `Quick
+            test_implication_forward_backward;
+          Alcotest.test_case "PI coupling" `Quick test_implication_pi_coupling;
+          Alcotest.test_case "transition vs stable" `Quick
+            test_implication_transition_vs_stable;
+          Alcotest.test_case "consistent helper" `Quick
+            test_implication_consistent_helper;
+          Alcotest.test_case "agrees with undetectability filter" `Quick
+            test_implication_agrees_with_filter;
+        ] );
+    ]

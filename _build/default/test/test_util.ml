@@ -1,0 +1,284 @@
+(* Tests for Pdf_util: seeded RNG, binary heap, table rendering. *)
+
+module Rng = Pdf_util.Rng
+module Heap = Pdf_util.Heap
+module Table = Pdf_util.Table
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next a) (Rng.next b)) then differs := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !differs
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let child = Rng.split a in
+  (* The child must not replay the parent's stream. *)
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next a) (Rng.next child)) then differs := true
+  done;
+  check Alcotest.bool "split diverges" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_bad_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int (Rng.create 1) 0))
+
+let test_rng_int_covers () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Rng.int rng 4) <- true
+  done;
+  check Alcotest.bool "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_bool_balance () =
+  let rng = Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool rng then incr trues
+  done;
+  check Alcotest.bool "roughly balanced" true (!trues > 350 && !trues < 650)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  check Alcotest.bool "is_empty" true (Heap.is_empty h);
+  check Alcotest.(option int) "pop" None (Heap.pop h);
+  check Alcotest.(option int) "peek" None (Heap.peek h)
+
+let test_heap_sorts () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 5; 9; 2; 6 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check
+    Alcotest.(list int)
+    "ascending" [ 1; 1; 2; 4; 5; 5; 6; 9 ] (drain [])
+
+let test_heap_max_mode () =
+  let h = Heap.create ~leq:(fun a b -> a >= b) in
+  List.iter (Heap.push h) [ 3; 7; 2 ];
+  check Alcotest.(option int) "max first" (Some 7) (Heap.pop h)
+
+let test_heap_peek_stable () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  check Alcotest.(option int) "peek" (Some 1) (Heap.peek h);
+  check Alcotest.int "peek does not remove" 3 (Heap.length h)
+
+let test_heap_pop_while () =
+  let h = Heap.create ~leq:(fun (a, _) (b, _) -> a <= b) in
+  List.iter (Heap.push h) [ (1, false); (2, true); (3, false); (4, true) ];
+  (* Skip entries whose flag is false (stale). *)
+  let fresh = Heap.pop_while h (fun (_, alive) -> not alive) in
+  check
+    Alcotest.(option (pair int bool))
+    "first fresh" (Some (2, true)) fresh
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"heap length tracks pushes" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Heap.push h) xs;
+      Heap.length h = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"demo" [ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_int_row t "beta" [ 42 ];
+  let s = Table.render t in
+  check Alcotest.bool "title present" true
+    (String.length s > 4 && String.sub s 0 4 = "demo");
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "row alpha" true (has "alpha");
+  check Alcotest.bool "row beta" true (has "beta");
+  check Alcotest.bool "int cell" true (has "42")
+
+let test_table_alignment () =
+  let t = Table.create [ ("h", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "100" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (* All data lines padded to the same width. *)
+  (match lines with
+  | _header :: _rule :: a :: b :: _ ->
+    check Alcotest.int "same width" (String.length a) (String.length b)
+  | _ -> Alcotest.fail "unexpected shape");
+  ()
+
+let test_table_bad_row () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Table.add_row: cell count does not match column count")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+
+(* ------------------------------------------------------------------ *)
+(* Csv                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Csv = Pdf_util.Csv
+
+let test_csv_render () =
+  let c = Csv.create ~header:[ "a"; "b" ] in
+  Csv.add_row c [ "1"; "2" ];
+  Csv.add_row c [ "x"; "y" ];
+  check Alcotest.string "render" "a,b\n1,2\nx,y\n" (Csv.render c)
+
+let test_csv_quoting () =
+  check Alcotest.string "comma" "\"a,b\"" (Csv.escape "a,b");
+  check Alcotest.string "quote" "\"say \"\"hi\"\"\"" (Csv.escape "say \"hi\"");
+  check Alcotest.string "newline" "\"a\nb\"" (Csv.escape "a\nb");
+  check Alcotest.string "plain untouched" "plain" (Csv.escape "plain")
+
+let test_csv_row_width () =
+  let c = Csv.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "width"
+    (Invalid_argument "Csv.add_row: row width does not match header")
+    (fun () -> Csv.add_row c [ "only" ])
+
+let test_csv_of_table () =
+  let t = Table.create [ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta"; "2" ];
+  let c = Csv.of_table t in
+  check Alcotest.string "roundtrip" "name,n\nalpha,1\nbeta,2\n" (Csv.render c)
+
+let test_csv_write_file () =
+  let c = Csv.create ~header:[ "k"; "v" ] in
+  Csv.add_row c [ "x"; "1" ];
+  let path = Filename.temp_file "pdfenrich" ".csv" in
+  Csv.write_file c path;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.string "file contents" (Csv.render c) contents
+
+let prop_csv_no_bare_specials =
+  QCheck.Test.make ~name:"rendered rows parse back to the same cell count"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 5) (string_gen_of_size (Gen.int_range 0 10) Gen.printable))
+    (fun cells ->
+      (* Render one row and check the quoted fields balance. *)
+      let c = Csv.create ~header:(List.map (fun _ -> "h") cells) in
+      Csv.add_row c cells;
+      let rendered = Csv.render c in
+      (* A small parser: skip the header line, then count unquoted commas
+         over the rest (quoted fields may span physical lines). *)
+      (match String.index_opt rendered '\n' with
+      | None -> false
+      | Some header_end ->
+        let data =
+          String.sub rendered (header_end + 1)
+            (String.length rendered - header_end - 2)
+        in
+        let in_quotes = ref false and fields = ref 1 in
+        String.iter
+          (fun ch ->
+            if ch = '"' then in_quotes := not !in_quotes
+            else if ch = ',' && not !in_quotes then incr fields)
+          data;
+        !fields = List.length cells))
+
+let () =
+  Alcotest.run "pdf_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_bad_bound;
+          Alcotest.test_case "int covers residues" `Quick test_rng_int_covers;
+          Alcotest.test_case "bool balance" `Quick test_rng_bool_balance;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "max mode" `Quick test_heap_max_mode;
+          Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
+          Alcotest.test_case "pop_while skips stale" `Quick test_heap_pop_while;
+          qcheck prop_heap_sorts;
+          qcheck prop_heap_length;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "bad row" `Quick test_table_bad_row;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "render" `Quick test_csv_render;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "row width" `Quick test_csv_row_width;
+          Alcotest.test_case "of_table" `Quick test_csv_of_table;
+          Alcotest.test_case "write file" `Quick test_csv_write_file;
+          qcheck prop_csv_no_bare_specials;
+        ] );
+    ]
