@@ -6,13 +6,16 @@
 
    Scale selection: PDF_SCALE=paper uses the paper's constants
    (N_P = 10000, N_P0 = 1000); the default "small" scale divides both by
-   five so the suite completes in minutes.  PDF_SEED overrides the seed. *)
+   five so the suite completes in minutes.  PDF_SEED overrides the seed.
+   PDF_TRACE=1 enables span tracing and prints a per-table phase profile
+   at the end. *)
 
 module Experiments = Pdf_experiments
 module Runner = Experiments.Runner
 module Tables = Experiments.Tables
 module Workload = Experiments.Workload
 module Profiles = Pdf_synth.Profiles
+module Span = Pdf_obs.Span
 
 let scale =
   match Sys.getenv_opt "PDF_SCALE" with
@@ -26,8 +29,21 @@ let scale =
 
 let seed =
   match Sys.getenv_opt "PDF_SEED" with
-  | Some s -> int_of_string s
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "invalid PDF_SEED %S (expected an integer)\n" s;
+      exit 2)
   | None -> Workload.default_seed
+
+let trace_agg =
+  match Sys.getenv_opt "PDF_TRACE" with
+  | Some ("1" | "true" | "yes") ->
+    let agg = Span.agg () in
+    Span.set_sink (Span.agg_sink agg);
+    Some agg
+  | Some _ | None -> None
 
 let hr title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -40,24 +56,26 @@ let () =
 
 let () =
   hr "Table 1 / Figure 1 (s27 walkthrough)";
-  print_string (Tables.table1 ());
+  Span.with_ "table1" (fun () -> print_string (Tables.table1 ()));
   hr "Table 2 (path-length histogram)";
-  print_string (Tables.table2 scale)
+  Span.with_ "table2" (fun () -> print_string (Tables.table2 scale))
 
 (* One full experiment run per circuit feeds Tables 3-7. *)
 let table_runs =
-  List.map
-    (fun profile ->
-      Printf.printf "running %s...\n%!" profile.Profiles.name;
-      Runner.run ~seed scale profile)
-    Profiles.table_rows
+  Span.with_ "tables3-7.runs" (fun () ->
+      List.map
+        (fun profile ->
+          Printf.printf "running %s...\n%!" profile.Profiles.name;
+          Runner.run ~seed scale profile)
+        Profiles.table_rows)
 
 let star_runs =
-  List.map
-    (fun profile ->
-      Printf.printf "running %s...\n%!" profile.Profiles.name;
-      Runner.run ~seed ~with_basics:false scale profile)
-    Profiles.star_rows
+  Span.with_ "table6.star_runs" (fun () ->
+      List.map
+        (fun profile ->
+          Printf.printf "running %s...\n%!" profile.Profiles.name;
+          Runner.run ~seed ~with_basics:false scale profile)
+        Profiles.star_rows)
 
 let () =
   hr "Table 3 (P0 detected, basic procedure)";
@@ -79,6 +97,7 @@ let profile name =
 
 let () =
   let module Ablations = Experiments.Ablations in
+  Span.with_ "ablations" @@ fun () ->
   hr "E1 (delay-estimation error: the paper's motivation)";
   print_string
     (Ablations.estimation_error ~seed scale ~noises:[ 20; 50 ]
@@ -239,3 +258,13 @@ let () =
   in
   List.iter (fun (name, cell) -> Printf.printf "%-32s %s\n" name cell) rows;
   print_newline ()
+
+(* Phase profile of the whole suite (PDF_TRACE=1). *)
+let () =
+  match trace_agg with
+  | None -> ()
+  | Some agg ->
+    Span.set_sink Span.Null;
+    hr "Phase-span profile (PDF_TRACE)";
+    Pdf_util.Table.print (Span.agg_table agg);
+    Printf.printf "span self-time total %.3fs\n" (Span.agg_self_total agg)

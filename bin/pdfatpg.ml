@@ -17,6 +17,9 @@ module Ordering = Pdf_core.Ordering
 module Test_pair = Pdf_core.Test_pair
 module Profiles = Pdf_synth.Profiles
 module Workload = Pdf_experiments.Workload
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
+module Log = Pdf_obs.Log
 
 let load_circuit name =
   match Profiles.find name with
@@ -63,6 +66,40 @@ let with_circuit name f =
     prerr_endline msg;
     exit 1
 
+(* Observability options shared by every subcommand: --verbose lowers the
+   event-log threshold (also settable via PDF_LOG), --metrics-out dumps
+   the metrics registry when the command finishes (CSV, or JSON lines
+   when the file name ends in .jsonl). *)
+let obs_setup =
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write all pipeline metrics to $(docv) on exit (CSV; \
+                   JSON lines when $(docv) ends in .jsonl).")
+  in
+  let verbose =
+    Arg.(value & flag_all
+         & info [ "v"; "verbose" ]
+             ~doc:"Log progress events to stderr (repeat for debug).")
+  in
+  let setup metrics_out verbose =
+    (match verbose with
+    | [] -> ()
+    | [ _ ] -> Log.set_level Log.Info
+    | _ -> Log.set_level Log.Debug);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      at_exit (fun () ->
+          try
+            if Filename.check_suffix path ".jsonl" then
+              Metrics.write_jsonl path
+            else Metrics.write_csv path
+          with Sys_error msg ->
+            Printf.eprintf "pdfatpg: cannot write metrics: %s\n" msg)
+  in
+  Term.(const setup $ metrics_out $ verbose)
+
 (* ------------------------------------------------------------------ *)
 
 let profiles_cmd =
@@ -78,16 +115,16 @@ let profiles_cmd =
     Pdf_util.Table.print t
   in
   Cmd.v (Cmd.info "profiles" ~doc:"List built-in circuit profiles.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_setup)
 
 let info_cmd =
-  let run name =
+  let run () name =
     with_circuit name (fun c ->
         Printf.printf "%s: %s\n" c.Circuit.name
           (Stats.to_string (Stats.compute c)))
   in
   Cmd.v (Cmd.info "info" ~doc:"Print structural statistics of a circuit.")
-    Term.(const run $ circuit_arg)
+    Term.(const run $ obs_setup $ circuit_arg)
 
 let paths_cmd =
   let max_paths =
@@ -97,7 +134,7 @@ let paths_cmd =
     Arg.(value & flag & info [ "simple" ]
          ~doc:"Use the simple (moderate-circuit) enumeration mode.")
   in
-  let run name max_paths simple =
+  let run () name max_paths simple =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let mode =
@@ -115,10 +152,10 @@ let paths_cmd =
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Enumerate the longest paths of a circuit.")
-    Term.(const run $ circuit_arg $ max_paths $ simple)
+    Term.(const run $ obs_setup $ circuit_arg $ max_paths $ simple)
 
 let histogram_cmd =
-  let run name n_p n_p0 =
+  let run () name n_p n_p0 =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let ts = Target_sets.build c model ~n_p ~n_p0 in
@@ -138,7 +175,7 @@ let histogram_cmd =
   Cmd.v
     (Cmd.info "histogram"
        ~doc:"Path-length histogram and P0/P1 selection (paper Table 2).")
-    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg)
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg)
 
 let criterion_conv =
   Arg.conv
@@ -191,7 +228,7 @@ let atpg_cmd =
              ~doc:"Report how many input bits the tests actually need \
                    (don't-care extraction).")
   in
-  let run name n_p n_p0 seed ordering criterion relax dump =
+  let run () name n_p n_p0 seed ordering criterion relax dump =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
@@ -232,7 +269,7 @@ let atpg_cmd =
   Cmd.v
     (Cmd.info "atpg"
        ~doc:"Basic test generation for the P0 target faults (paper Sec. 2).")
-    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
           $ ordering_arg $ criterion_arg $ relax_flag $ dump_arg)
 
 let enrich_cmd =
@@ -242,7 +279,7 @@ let enrich_cmd =
              ~doc:"Print a per-path-length coverage comparison of the basic \
                    and enriched test sets.")
   in
-  let run name n_p n_p0 seed criterion coverage dump =
+  let run () name n_p n_p0 seed criterion coverage dump =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
@@ -286,7 +323,7 @@ let enrich_cmd =
   Cmd.v
     (Cmd.info "enrich"
        ~doc:"Test enrichment with target sets P0 and P1 (paper Sec. 3).")
-    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
           $ criterion_arg $ coverage_flag $ dump_arg)
 
 let faultsim_cmd =
@@ -294,7 +331,7 @@ let faultsim_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"TESTS" ~doc:"Test file (one v1/v3 line per test).")
   in
-  let run name n_p n_p0 file =
+  let run () name n_p n_p0 file =
     with_circuit name (fun c ->
         let parse_line lineno line =
           match String.split_on_char '/' (String.trim line) with
@@ -339,7 +376,7 @@ let faultsim_cmd =
   Cmd.v
     (Cmd.info "faultsim"
        ~doc:"Robust path-delay fault simulation of a test file over P0 u P1.")
-    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ tests_file)
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ tests_file)
 
 let gen_cmd =
   let out =
@@ -350,7 +387,7 @@ let gen_cmd =
     Arg.(value & flag
          & info [ "verilog" ] ~doc:"Emit structural Verilog instead of .bench.")
   in
-  let run name verilog out =
+  let run () name verilog out =
     with_circuit name (fun c ->
         let text =
           if verilog then Pdf_circuit.Verilog_io.to_string c
@@ -367,10 +404,10 @@ let gen_cmd =
   Cmd.v
     (Cmd.info "gen"
        ~doc:"Emit a circuit (profile or file) as .bench or Verilog text.")
-    Term.(const run $ circuit_arg $ verilog $ out)
+    Term.(const run $ obs_setup $ circuit_arg $ verilog $ out)
 
 let count_cmd =
-  let run name =
+  let run () name =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let total = Pdf_paths.Count.total c in
@@ -391,7 +428,7 @@ let count_cmd =
   Cmd.v
     (Cmd.info "count"
        ~doc:"Count paths without enumeration (exact dynamic program).")
-    Term.(const run $ circuit_arg)
+    Term.(const run $ obs_setup $ circuit_arg)
 
 let sta_cmd =
   let period_arg =
@@ -399,7 +436,7 @@ let sta_cmd =
          & info [ "period" ] ~docv:"T"
              ~doc:"Clock period (defaults to the critical delay).")
   in
-  let run name period =
+  let run () name period =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let sta =
@@ -435,7 +472,7 @@ let sta_cmd =
   Cmd.v
     (Cmd.info "sta"
        ~doc:"Static timing analysis: arrival/required/slack per net.")
-    Term.(const run $ circuit_arg $ period_arg)
+    Term.(const run $ obs_setup $ circuit_arg $ period_arg)
 
 let timing_cmd =
   let rank_arg =
@@ -448,7 +485,7 @@ let timing_cmd =
          & info [ "extra" ] ~docv:"D"
              ~doc:"Injected delay per path segment (default: slack + 1).")
   in
-  let run name n_p n_p0 seed rank extra =
+  let run () name n_p n_p0 seed rank extra =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let ts = Target_sets.build c model ~n_p ~n_p0 in
@@ -488,8 +525,8 @@ let timing_cmd =
   Cmd.v
     (Cmd.info "timing"
        ~doc:"Timing-simulate a robust test against an injected path fault.")
-    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg $ rank_arg
-          $ extra_arg)
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
+          $ rank_arg $ extra_arg)
 
 let diagnose_cmd =
   let rank_arg =
@@ -501,7 +538,7 @@ let diagnose_cmd =
     Arg.(value & opt int 5
          & info [ "top" ] ~docv:"N" ~doc:"Candidates to print.")
   in
-  let run name n_p n_p0 seed rank top =
+  let run () name n_p n_p0 seed rank top =
     with_circuit name (fun c ->
         let model = Delay_model.lines c in
         let ts = Target_sets.build c model ~n_p ~n_p0 in
@@ -555,8 +592,8 @@ let diagnose_cmd =
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:"Inject a fault, capture its pass/fail signature, diagnose it.")
-    Term.(const run $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg $ rank_arg
-          $ top_arg)
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
+          $ rank_arg $ top_arg)
 
 let ablations_cmd =
   let which =
@@ -568,7 +605,7 @@ let ablations_cmd =
     Arg.(value & opt_all string [ "b09" ]
          & info [ "profile" ] ~docv:"NAME" ~doc:"Profile(s) to run on.")
   in
-  let run which names seed =
+  let run () which names seed =
     let module Ablations = Pdf_experiments.Ablations in
     let profiles =
       List.map
@@ -599,7 +636,7 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the beyond-the-paper ablations (E1-E6).")
-    Term.(const run $ which $ profiles_arg $ seed_arg)
+    Term.(const run $ obs_setup $ which $ profiles_arg $ seed_arg)
 
 let tables_cmd =
   let scale_conv =
@@ -624,7 +661,7 @@ let tables_cmd =
          & info [ "csv" ] ~docv:"DIR"
              ~doc:"Also write Tables 3-7 as CSV files into $(docv).")
   in
-  let run scale which csv seed =
+  let run () scale which csv seed =
     let module Tables = Pdf_experiments.Tables in
     let module Runner = Pdf_experiments.Runner in
     let need n =
@@ -669,7 +706,62 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables.")
-    Term.(const run $ scale_arg $ which $ csv_dir $ seed_arg)
+    Term.(const run $ obs_setup $ scale_arg $ which $ csv_dir $ seed_arg)
+
+let trace_cmd =
+  let run () name n_p n_p0 seed criterion =
+    with_circuit name (fun c ->
+        (* Aggregate every span fired by the pipeline into one row per
+           phase, then compare the instrumented self-time total against
+           the independently measured wall clock. *)
+        let agg = Span.agg () in
+        Span.set_sink (Span.agg_sink agg);
+        let t0 = Unix.gettimeofday () in
+        let ts, faults, p0, p1, res =
+          Span.with_ "total" (fun () ->
+              let model = Delay_model.lines c in
+              let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
+              let faults = Fault_sim.prepare ~criterion c ts.Target_sets.p in
+              let n0 = List.length ts.Target_sets.p0 in
+              let p0 = List.init n0 Fun.id in
+              let p1 =
+                List.init (Array.length faults - n0) (fun i -> n0 + i)
+              in
+              let res = Atpg.enrich c ~seed ~faults ~p0 ~p1 in
+              (ts, faults, p0, p1, res))
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        Span.set_sink Span.Null;
+        Metrics.set_int (Metrics.gauge "enrich.p0_detected")
+          (Atpg.count_detected res ~ids:p0);
+        Metrics.set_int (Metrics.gauge "enrich.p1_detected")
+          (Atpg.count_detected res ~ids:p1);
+        Metrics.set_int (Metrics.gauge "enrich.p_detected")
+          (Fault_sim.count res.Atpg.detected);
+        Metrics.set_int (Metrics.gauge "enrich.tests")
+          (List.length res.Atpg.tests);
+        Printf.printf
+          "%s: enrichment run, |P0|=%d |P1|=%d, %d/%d detected, %d tests\n\n"
+          c.Circuit.name
+          (List.length ts.Target_sets.p0)
+          (List.length ts.Target_sets.p1)
+          (Fault_sim.count res.Atpg.detected)
+          (Array.length faults)
+          (List.length res.Atpg.tests);
+        Pdf_util.Table.print (Span.agg_table ~wall_s:wall agg);
+        let covered = Span.agg_self_total agg in
+        Printf.printf
+          "span self-time total %.3fs of %.3fs wall-clock (%.1f%% covered)\n"
+          covered wall
+          (if wall > 0. then 100. *. covered /. wall else 0.))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run an enrichment experiment with span tracing enabled and \
+             print the per-phase profile (combine with --metrics-out for \
+             the full counter dump).")
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
+          $ criterion_arg)
 
 let () =
   let doc = "Path delay fault test generation with multiple sets of target faults." in
@@ -679,7 +771,7 @@ let () =
       [
         profiles_cmd; info_cmd; paths_cmd; histogram_cmd; count_cmd;
         sta_cmd; atpg_cmd; enrich_cmd; faultsim_cmd; gen_cmd; timing_cmd;
-        diagnose_cmd; tables_cmd; ablations_cmd;
+        diagnose_cmd; tables_cmd; ablations_cmd; trace_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -1,6 +1,11 @@
 module Req = Pdf_values.Req
 module Circuit = Pdf_circuit.Circuit
 module Rng = Pdf_util.Rng
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
+module Log = Pdf_obs.Log
+
+let m_delta_evals = Metrics.counter "atpg.delta_evals"
 
 type config = {
   ordering : Ordering.t;
@@ -36,12 +41,17 @@ let delta acc reqs =
     | _, _, _ -> None
   in
   let exception Clash in
+  Metrics.incr m_delta_evals;
   try
-    let updates, n =
+    (* Small hash table keyed by net: requirement lists repeat nets, and
+       the assoc-list accumulator this replaces was quadratic in the
+       requirement count on the hottest compaction path. *)
+    let updates : (int, Req.t) Hashtbl.t = Hashtbl.create 16 in
+    let n =
       List.fold_left
-        (fun (updates, n) (net, req) ->
+        (fun n (net, req) ->
           let current =
-            match List.assoc_opt net updates with
+            match Hashtbl.find_opt updates net with
             | Some r -> r
             | None -> (
               match Hashtbl.find_opt acc net with
@@ -56,10 +66,11 @@ let delta acc reqs =
               | Some m -> m
               | None -> assert false (* count_new succeeded *)
             in
-            ((net, merged) :: List.remove_assoc net updates, n + added))
-        ([], 0) reqs
+            Hashtbl.replace updates net merged;
+            n + added)
+        0 reqs
     in
-    Some (updates, n)
+    Some (Hashtbl.fold (fun net req l -> (net, req) :: l) updates [], n)
   with Clash -> None
 
 let commit acc updates =
@@ -132,8 +143,31 @@ let contradicts_implied implied reqs =
     reqs
 
 let generate c config ~faults ~primaries ~secondary_pools =
+  Span.with_ "atpg" @@ fun () ->
   let t0 = Sys.time () in
   let engine = Justify.create c in
+  let runs0 = Justify.runs engine and trials0 = Justify.trials engine in
+  (* Per-ordering counters: the same pipeline run exercises several
+     compaction heuristics, and their work must not be conflated. *)
+  let cnt suffix =
+    Metrics.counter ("atpg." ^ Ordering.name config.ordering ^ "." ^ suffix)
+  in
+  let m_primaries = cnt "primaries_attempted"
+  and m_primary_aborts = cnt "primary_aborts"
+  and m_tests = cnt "tests"
+  and m_cand = cnt "secondary_attempted"
+  and m_folded = cnt "secondary_folded"
+  and m_free = cnt "secondary_free"
+  and m_rej_conflict = cnt "secondary_rejected_conflict"
+  and m_rej_implied = cnt "secondary_rejected_implied"
+  and m_rej_search = cnt "secondary_rejected_search"
+  and m_accidental = cnt "accidental_detections" in
+  let h_folded_per_test =
+    Metrics.histogram
+      ~buckets:[| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100. |]
+      ("atpg." ^ Ordering.name config.ordering ^ ".folded_per_test")
+  in
+  let folded_this_test = ref 0 in
   let rng = Rng.create config.seed in
   let n = Array.length faults in
   let detected = Array.make n false in
@@ -152,16 +186,24 @@ let generate c config ~faults ~primaries ~secondary_pools =
   (* Attempt to add candidate [i] to the current test's fault set; on
      acceptance, return the requirement values newly pinned ([Delta]). *)
   let try_candidate st i =
+    Metrics.incr m_cand;
     match delta st.acc faults.(i).Fault_sim.reqs with
-    | None -> None
+    | None ->
+      Metrics.incr m_rej_conflict;
+      None
     | Some (updates, _) ->
       if Fault_sim.detects_values st.values faults.(i) then begin
         commit st.acc updates;
         st.implied <- recompute_implied c st.acc;
+        Metrics.incr m_free;
+        Metrics.incr m_folded;
+        incr folded_this_test;
         Some updates
       end
-      else if contradicts_implied st.implied faults.(i).Fault_sim.reqs then
+      else if contradicts_implied st.implied faults.(i).Fault_sim.reqs then begin
+        Metrics.incr m_rej_implied;
         None
+      end
       else begin
         match Justify.run engine ~rng ~reqs:(reqs_with st.acc updates) with
         | Some test ->
@@ -169,8 +211,12 @@ let generate c config ~faults ~primaries ~secondary_pools =
           st.values <- Test_pair.simulate c test;
           commit st.acc updates;
           st.implied <- recompute_implied c st.acc;
+          Metrics.incr m_folded;
+          incr folded_this_test;
           Some updates
-        | None -> None
+        | None ->
+          Metrics.incr m_rej_search;
+          None
       end
   in
   let scan_pool_in_order st pool =
@@ -259,8 +305,11 @@ let generate c config ~faults ~primaries ~secondary_pools =
     | None -> running := false
     | Some p0 ->
       tried.(p0) <- true;
+      Metrics.incr m_primaries;
       (match Justify.run engine ~rng ~reqs:faults.(p0).Fault_sim.reqs with
-      | None -> incr aborts
+      | None ->
+        incr aborts;
+        Metrics.incr m_primary_aborts
       | Some test ->
         let st =
           {
@@ -275,28 +324,43 @@ let generate c config ~faults ~primaries ~secondary_pools =
           | Some (updates, _) -> updates
           | None -> assert false);
         st.implied <- recompute_implied c st.acc;
-        (match config.ordering with
-        | Ordering.Uncompacted -> ()
-        | Ordering.Arbitrary | Ordering.Length_based ->
-          List.iter (fun pool -> scan_pool_in_order st pool) pools
-        | Ordering.Value_based ->
-          List.iter (fun pool -> scan_pool_value_based st pool) pools);
+        folded_this_test := 0;
+        Span.with_ "compact" (fun () ->
+            match config.ordering with
+            | Ordering.Uncompacted -> ()
+            | Ordering.Arbitrary | Ordering.Length_based ->
+              List.iter (fun pool -> scan_pool_in_order st pool) pools
+            | Ordering.Value_based ->
+              List.iter (fun pool -> scan_pool_value_based st pool) pools);
+        Metrics.observe_int h_folded_per_test !folded_this_test;
         tests := st.test :: !tests;
+        Metrics.incr m_tests;
         (* Fault simulation: drop everything the final test detects. *)
-        Array.iteri
-          (fun i p ->
-            if (not detected.(i)) && Fault_sim.detects_values st.values p
-            then detected.(i) <- true)
-          faults)
+        Span.with_ "fault-sim" (fun () ->
+            Array.iteri
+              (fun i p ->
+                if (not detected.(i)) && Fault_sim.detects_values st.values p
+                then begin
+                  detected.(i) <- true;
+                  if i <> p0 then Metrics.incr m_accidental
+                end)
+              faults))
   done;
-  {
-    tests = List.rev !tests;
-    detected;
-    primary_aborts = !aborts;
-    justification_runs = Justify.runs engine;
-    justification_trials = Justify.trials engine;
-    runtime_s = Sys.time () -. t0;
-  }
+  let result =
+    {
+      tests = List.rev !tests;
+      detected;
+      primary_aborts = !aborts;
+      justification_runs = Justify.runs engine - runs0;
+      justification_trials = Justify.trials engine - trials0;
+      runtime_s = Sys.time () -. t0;
+    }
+  in
+  Log.debug "atpg(%s): %d tests, %d/%d detected, %d aborts"
+    (Ordering.name config.ordering)
+    (List.length result.tests)
+    (Fault_sim.count detected) (Array.length faults) !aborts;
+  result
 
 let basic c config ~faults =
   let ids = List.init (Array.length faults) (fun i -> i) in

@@ -2,6 +2,12 @@ module Req = Pdf_values.Req
 module Fault = Pdf_faults.Fault
 module Robust = Pdf_faults.Robust
 module Target_sets = Pdf_faults.Target_sets
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
+
+let m_simulations = Metrics.counter "fault_sim.simulations"
+let m_detections = Metrics.counter "fault_sim.detections"
+let g_prepared = Metrics.gauge "fault_sim.prepared"
 
 type prepared = {
   id : int;
@@ -11,6 +17,7 @@ type prepared = {
 }
 
 let prepare ?(criterion = Robust.Robust) c entries =
+  Span.with_ "prepare" @@ fun () ->
   let prepared =
     List.filter_map
       (fun (e : Target_sets.entry) ->
@@ -22,24 +29,37 @@ let prepare ?(criterion = Robust.Robust) c entries =
         | None -> None)
       entries
   in
-  Array.of_list (List.mapi (fun id make -> make id) prepared)
+  let a = Array.of_list (List.mapi (fun id make -> make id) prepared) in
+  Metrics.set_int g_prepared (Array.length a);
+  a
 
 let detects_values values p =
   List.for_all (fun (net, req) -> Req.satisfied_by values.(net) req) p.reqs
 
 let detected_by_test c test faults =
+  Span.with_ "fault-sim" @@ fun () ->
+  Metrics.incr m_simulations;
   let values = Test_pair.simulate c test in
-  Array.map (fun p -> detects_values values p) faults
+  Array.map
+    (fun p ->
+      let d = detects_values values p in
+      if d then Metrics.incr m_detections;
+      d)
+    faults
 
 let detected_by_tests c tests faults =
+  Span.with_ "fault-sim" @@ fun () ->
   let detected = Array.make (Array.length faults) false in
   List.iter
     (fun test ->
+      Metrics.incr m_simulations;
       let values = Test_pair.simulate c test in
       Array.iteri
         (fun i p ->
-          if (not detected.(i)) && detects_values values p then
-            detected.(i) <- true)
+          if (not detected.(i)) && detects_values values p then begin
+            detected.(i) <- true;
+            Metrics.incr m_detections
+          end)
         faults)
     tests;
   detected

@@ -4,18 +4,28 @@ module Circuit = Pdf_circuit.Circuit
 module Gate = Pdf_circuit.Gate
 module Rng = Pdf_util.Rng
 module Two_pattern = Pdf_sim.Two_pattern
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
 
-type t = {
-  circuit : Circuit.t;
-  mutable runs : int;
-  mutable trials : int;
-}
+(* All justification accounting lives in the pdf_obs metrics registry
+   (process-wide, monotonic); [runs]/[trials] below read these. *)
+let m_runs = Metrics.counter "justify.runs"
+let m_trials = Metrics.counter "justify.trials"
+let m_conflicts = Metrics.counter "justify.conflicts"
+let m_backtracks = Metrics.counter "justify.backtracks"
 
-let create circuit = { circuit; runs = 0; trials = 0 }
+let h_backtrack_depth =
+  Metrics.histogram
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+    "justify.backtrack_depth"
 
-let runs t = t.runs
+type t = { circuit : Circuit.t }
 
-let trials t = t.trials
+let create circuit = { circuit }
+
+let runs (_ : t) = Metrics.value m_runs
+
+let trials (_ : t) = Metrics.value m_trials
 
 exception No_test
 
@@ -124,8 +134,8 @@ exception Trial_conflict
    cone using an overlay (values stamped with the trial id); any definite
    value contradicting a requirement aborts with a conflict.  The
    persistent state is untouched. *)
-let trial engine st pi j b =
-  engine.trials <- engine.trials + 1;
+let trial _engine st pi j b =
+  Metrics.incr m_trials;
   st.trial_id <- st.trial_id + 1;
   let id = st.trial_id in
   let read k net =
@@ -305,10 +315,13 @@ exception Budget_exhausted
 
 (* Deterministic branch-and-bound search over the cone input bits. *)
 let run_complete ?(max_backtracks = 10_000) engine ~reqs =
-  engine.runs <- engine.runs + 1;
+  Span.with_ "justify" @@ fun () ->
+  Metrics.incr m_runs;
   let c = engine.circuit in
   match merge_reqs reqs with
-  | None -> Proved_unsatisfiable
+  | None ->
+    Metrics.incr m_conflicts;
+    Proved_unsatisfiable
   | Some [] ->
     Found
       (Test_pair.create
@@ -326,8 +339,10 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
       st.unspecified <- unspecified;
       resim st
     in
-    let spend () =
+    let spend depth =
       incr backtracks;
+      Metrics.incr m_backtracks;
+      Metrics.observe_int h_backtrack_depth depth;
       if !backtracks > max_backtracks then raise Budget_exhausted
     in
     (* The paper's decision preference, made deterministic: stabilise a
@@ -371,7 +386,7 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
     in
     (* DFS: returns Some test on success, None when this subtree is
        refuted. *)
-    let rec solve () =
+    let rec solve depth =
       match
         (try
            necessary_values engine st;
@@ -398,14 +413,14 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
                    with No_test -> `Conflict)
                 with
                 | `Conflict ->
-                  spend ();
+                  spend depth;
                   restore saved;
                   try_values rest
                 | `Ok -> (
-                  match solve () with
+                  match solve (depth + 1) with
                   | Some test -> Some test
                   | None ->
-                    spend ();
+                    spend depth;
                     restore saved;
                     try_values rest))
             in
@@ -413,18 +428,26 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
     in
     try
       resim st;
-      if conflict_now st then Proved_unsatisfiable
+      if conflict_now st then begin
+        Metrics.incr m_conflicts;
+        Proved_unsatisfiable
+      end
       else
-        match solve () with
+        match solve 0 with
         | Some test -> Found test
-        | None -> Proved_unsatisfiable
+        | None ->
+          Metrics.incr m_conflicts;
+          Proved_unsatisfiable
     with Budget_exhausted -> Gave_up)
 
 let run engine ~rng ~reqs =
-  engine.runs <- engine.runs + 1;
+  Span.with_ "justify" @@ fun () ->
+  Metrics.incr m_runs;
   let c = engine.circuit in
   match merge_reqs reqs with
-  | None -> None
+  | None ->
+    Metrics.incr m_conflicts;
+    None
   | Some [] ->
     Some
       (Test_pair.create
@@ -432,12 +455,16 @@ let run engine ~rng ~reqs =
          (random_pattern rng c.Circuit.num_pis))
   | Some merged ->
     let st = make_search c rng merged in
-    (try
-       resim st;
-       if conflict_now st then raise No_test;
-       while st.unspecified > 0 do
-         necessary_values engine st;
-         if st.unspecified > 0 then decide st
-       done;
-       if satisfied_now st then Some (build_test st) else None
-     with No_test -> None)
+    let result =
+      try
+        resim st;
+        if conflict_now st then raise No_test;
+        while st.unspecified > 0 do
+          necessary_values engine st;
+          if st.unspecified > 0 then decide st
+        done;
+        if satisfied_now st then Some (build_test st) else None
+      with No_test -> None
+    in
+    if result = None then Metrics.incr m_conflicts;
+    result

@@ -33,10 +33,14 @@ val run :
     first (a direct conflict fails immediately). *)
 
 val runs : t -> int
-(** Number of [run] invocations so far (for run-time accounting). *)
+(** Number of [run]/[run_complete] invocations so far.  Backed by the
+    process-wide [justify.runs] counter in {!Pdf_obs.Metrics} (every
+    engine shares it); callers wanting a per-phase figure take the
+    difference around the phase. *)
 
 val trials : t -> int
-(** Total trial simulations performed (effort metric). *)
+(** Total trial simulations performed (effort metric).  Backed by the
+    process-wide [justify.trials] counter, like {!runs}. *)
 
 (** {2 Complete search}
 

@@ -3,6 +3,14 @@ module Atpg = Pdf_core.Atpg
 module Fault_sim = Pdf_core.Fault_sim
 module Target_sets = Pdf_faults.Target_sets
 module Profiles = Pdf_synth.Profiles
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
+module Log = Pdf_obs.Log
+
+let g_p0_detected = Metrics.gauge "enrich.p0_detected"
+let g_p1_detected = Metrics.gauge "enrich.p1_detected"
+let g_p_detected = Metrics.gauge "enrich.p_detected"
+let g_tests = Metrics.gauge "enrich.tests"
 
 type basic_run = {
   ordering : Ordering.t;
@@ -30,6 +38,9 @@ type circuit_run = {
 
 let run ?(seed = Workload.default_seed) ?(with_basics = true)
     (scale : Workload.scale) profile =
+  Span.with_ "runner" @@ fun () ->
+  Log.info "runner: %s (scale=%s seed=%d)" profile.Profiles.name
+    scale.Workload.label seed;
   let c = Profiles.circuit profile in
   let model = Pdf_paths.Delay_model.lines c in
   let ts =
@@ -47,6 +58,7 @@ let run ?(seed = Workload.default_seed) ?(with_basics = true)
   let basics =
     List.map
       (fun ordering ->
+        Span.with_ ("basic-" ^ Ordering.name ordering) @@ fun () ->
         let res = Atpg.basic c { Atpg.ordering; seed } ~faults:faults0 in
         let p_detected =
           Fault_sim.count (Fault_sim.detected_by_tests c res.Atpg.tests faults)
@@ -60,7 +72,14 @@ let run ?(seed = Workload.default_seed) ?(with_basics = true)
         })
       orderings
   in
-  let er = Atpg.enrich c ~seed ~faults ~p0:p0_ids ~p1:p1_ids in
+  let er =
+    Span.with_ "enrich" (fun () ->
+        Atpg.enrich c ~seed ~faults ~p0:p0_ids ~p1:p1_ids)
+  in
+  Metrics.set_int g_p0_detected (Atpg.count_detected er ~ids:p0_ids);
+  Metrics.set_int g_p1_detected (Atpg.count_detected er ~ids:p1_ids);
+  Metrics.set_int g_p_detected (Fault_sim.count er.Atpg.detected);
+  Metrics.set_int g_tests (List.length er.Atpg.tests);
   {
     profile;
     scale;

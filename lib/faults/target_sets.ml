@@ -1,5 +1,16 @@
 module Enumerate = Pdf_paths.Enumerate
 module Histogram = Pdf_paths.Histogram
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
+module Log = Pdf_obs.Log
+
+let g_p = Metrics.gauge "target_sets.p_size"
+let g_p0 = Metrics.gauge "target_sets.p0_size"
+let g_p1 = Metrics.gauge "target_sets.p1_size"
+let g_cutoff = Metrics.gauge "target_sets.cutoff_length"
+let g_i0 = Metrics.gauge "target_sets.i0"
+let m_undet_direct = Metrics.counter "target_sets.undetectable_direct"
+let m_undet_implication = Metrics.counter "target_sets.undetectable_implication"
 
 type entry = { fault : Fault.t; length : int }
 
@@ -21,6 +32,7 @@ let paper_n_p0 = 1_000
 let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust) c
     model ~n_p ~n_p0 =
   if n_p < 2 then invalid_arg "Target_sets.build: n_p < 2";
+  Span.with_ "target-sets" (fun () ->
   let enumeration =
     Enumerate.enumerate ~mode c model ~max_paths:(n_p / 2)
   in
@@ -31,6 +43,7 @@ let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust) c
       enumeration.Enumerate.paths
   in
   let kept, undetectable =
+    Span.with_ "undetectable" (fun () ->
     let faults = List.map fst all_faults in
     let kept_faults, stats = Undetectable.filter ~criterion c faults in
     let lengths = Hashtbl.create 64 in
@@ -40,7 +53,7 @@ let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust) c
     ( List.map
         (fun f -> { fault = f; length = Hashtbl.find lengths f.Fault.path })
         kept_faults,
-      stats )
+      stats ))
   in
   let p =
     List.sort
@@ -60,7 +73,26 @@ let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust) c
   in
   let p0 = List.filter (fun e -> e.length >= cutoff_length) p in
   let p1 = List.filter (fun e -> e.length < cutoff_length) p in
-  { p; p0; p1; i0; cutoff_length; histogram; undetectable; enumeration }
+  Metrics.set_int g_p (List.length p);
+  Metrics.set_int g_p0 (List.length p0);
+  Metrics.set_int g_p1 (List.length p1);
+  Metrics.set_int g_cutoff cutoff_length;
+  Metrics.set_int g_i0 i0;
+  Metrics.add m_undet_direct
+    undetectable.Undetectable.direct_conflicts;
+  Metrics.add m_undet_implication
+    undetectable.Undetectable.implication_conflicts;
+  Log.event ~fields:
+    [ ("p", string_of_int (List.length p));
+      ("p0", string_of_int (List.length p0));
+      ("p1", string_of_int (List.length p1));
+      ("cutoff", string_of_int cutoff_length);
+      ("undet_direct",
+       string_of_int undetectable.Undetectable.direct_conflicts);
+      ("undet_implication",
+       string_of_int undetectable.Undetectable.implication_conflicts) ]
+    "target_sets.build";
+  { p; p0; p1; i0; cutoff_length; histogram; undetectable; enumeration })
 
 let split_multi t ~thresholds =
   let rec check_increasing prev = function

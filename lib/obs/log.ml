@@ -1,0 +1,70 @@
+type level = Debug | Info | Warn | Error | Quiet
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3 | Quiet -> 4
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | "quiet" | "silent" | "none" -> Some Quiet
+  | _ -> None
+
+let to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+  | Quiet -> "quiet"
+
+let initial =
+  match Sys.getenv_opt "PDF_LOG" with
+  | Some s -> (
+    match of_string s with
+    | Some l -> l
+    | None ->
+      Printf.eprintf "[pdf] ignoring unknown PDF_LOG %S\n%!" s;
+      Warn)
+  | None -> Warn
+
+let current = ref initial
+
+let set_level l = current := l
+
+let level () = !current
+
+let enabled l = l <> Quiet && rank l >= rank !current
+
+let t0 = Unix.gettimeofday ()
+
+let emit l msg fields =
+  let fields_s =
+    match fields with
+    | [] -> ""
+    | fs ->
+      " " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fs)
+  in
+  Printf.eprintf "[pdf %8.3f] %-5s %s%s\n%!"
+    (Unix.gettimeofday () -. t0)
+    (match l with
+    | Debug -> "DEBUG"
+    | Info -> "INFO"
+    | Warn -> "WARN"
+    | Error -> "ERROR"
+    | Quiet -> "QUIET")
+    msg fields_s
+
+let event ?(level = Info) ?(fields = []) name =
+  if enabled level then emit level name fields
+
+let logf l fmt =
+  Printf.ksprintf (fun s -> if enabled l then emit l s []) fmt
+
+let debug fmt = logf Debug fmt
+
+let info fmt = logf Info fmt
+
+let warn fmt = logf Warn fmt
+
+let error fmt = logf Error fmt

@@ -1,0 +1,33 @@
+(** Structured event log with severity levels.
+
+    The threshold is initialised from the [PDF_LOG] environment variable
+    ([debug], [info], [warn], [error] or [quiet]; default [warn]) and can
+    be tightened or relaxed programmatically (the CLI's [--verbose]).
+    Events go to [stderr] with a run-relative timestamp, a level tag and
+    optional [key=value] fields, one event per line. *)
+
+type level = Debug | Info | Warn | Error | Quiet
+
+val of_string : string -> level option
+
+val to_string : level -> string
+
+val set_level : level -> unit
+
+val level : unit -> level
+
+val enabled : level -> bool
+(** [enabled l] — would an event at level [l] be emitted?  Use to guard
+    expensive message construction on hot paths. *)
+
+val event : ?level:level -> ?fields:(string * string) list -> string -> unit
+(** Structured event: a name plus [key=value] fields (default level
+    [Info]). *)
+
+val debug : ('a, unit, string, unit) format4 -> 'a
+
+val info : ('a, unit, string, unit) format4 -> 'a
+
+val warn : ('a, unit, string, unit) format4 -> 'a
+
+val error : ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,247 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable gauge_v : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;
+  counts : int array; (* length = Array.length bounds + 1; last = overflow *)
+  mutable sum : float;
+  mutable total : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { entries : (string, metric) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 64 }
+
+let default = create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let clash name existing want =
+  invalid_arg
+    (Printf.sprintf "Metrics.%s: %S is already registered as a %s" want name
+       (kind_name existing))
+
+let counter ?(registry = default) name =
+  match Hashtbl.find_opt registry.entries name with
+  | Some (Counter c) -> c
+  | Some m -> clash name m "counter"
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace registry.entries name (Counter c);
+    c
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  c.count <- c.count + n
+
+let value c = c.count
+
+let gauge ?(registry = default) name =
+  match Hashtbl.find_opt registry.entries name with
+  | Some (Gauge g) -> g
+  | Some m -> clash name m "gauge"
+  | None ->
+    let g = { g_name = name; gauge_v = 0. } in
+    Hashtbl.replace registry.entries name (Gauge g);
+    g
+
+let set g v = g.gauge_v <- v
+
+let set_int g v = g.gauge_v <- float_of_int v
+
+let gauge_value g = g.gauge_v
+
+let histogram ?(registry = default) ~buckets name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty bucket list";
+  for i = 1 to Array.length buckets - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done;
+  match Hashtbl.find_opt registry.entries name with
+  | Some (Histogram h) ->
+    if h.bounds <> buckets then
+      invalid_arg
+        (Printf.sprintf
+           "Metrics.histogram: %S already registered with other buckets" name);
+    h
+  | Some m -> clash name m "histogram"
+  | None ->
+    let h =
+      {
+        h_name = name;
+        bounds = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        sum = 0.;
+        total = 0;
+      }
+    in
+    Hashtbl.replace registry.entries name (Histogram h);
+    h
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    Stdlib.incr i
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.sum <- h.sum +. v;
+  h.total <- h.total + 1
+
+let observe_int h v = observe h (float_of_int v)
+
+type hist_data = {
+  bounds : float array;
+  counts : int array;
+  sum : float;
+  total : int;
+}
+
+type data = Counter_v of int | Gauge_v of float | Histogram_v of hist_data
+
+let snapshot ?(registry = default) () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let d =
+        match m with
+        | Counter c -> Counter_v c.count
+        | Gauge g -> Gauge_v g.gauge_v
+        | Histogram h ->
+          Histogram_v
+            {
+              bounds = Array.copy h.bounds;
+              counts = Array.copy h.counts;
+              sum = h.sum;
+              total = h.total;
+            }
+      in
+      (name, d) :: acc)
+    registry.entries []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.gauge_v <- 0.
+      | Histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.sum <- 0.;
+        h.total <- 0)
+    registry.entries
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let float_cell v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let hist_detail (h : hist_data) =
+  let parts = ref [] in
+  Array.iteri
+    (fun i n ->
+      let label =
+        if i < Array.length h.bounds then
+          Printf.sprintf "le%s" (float_cell h.bounds.(i))
+        else "inf"
+      in
+      parts := Printf.sprintf "%s=%d" label n :: !parts)
+    h.counts;
+  Printf.sprintf "sum=%s;%s" (float_cell h.sum)
+    (String.concat ";" (List.rev !parts))
+
+let row_of = function
+  | name, Counter_v v -> [ name; "counter"; string_of_int v; "" ]
+  | name, Gauge_v v -> [ name; "gauge"; float_cell v; "" ]
+  | name, Histogram_v h ->
+    [ name; "histogram"; string_of_int h.total; hist_detail h ]
+
+let to_table ?(registry = default) () =
+  let t =
+    Pdf_util.Table.create
+      [
+        ("metric", Pdf_util.Table.Left); ("kind", Pdf_util.Table.Left);
+        ("value", Pdf_util.Table.Right); ("detail", Pdf_util.Table.Left);
+      ]
+  in
+  List.iter (fun e -> Pdf_util.Table.add_row t (row_of e)) (snapshot ~registry ());
+  t
+
+let to_csv ?(registry = default) () =
+  let csv = Pdf_util.Csv.create ~header:[ "metric"; "kind"; "value"; "detail" ] in
+  List.iter (fun e -> Pdf_util.Csv.add_row csv (row_of e)) (snapshot ~registry ());
+  csv
+
+let write_csv ?(registry = default) path =
+  Pdf_util.Csv.write_file (to_csv ~registry ()) path
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let jsonl_line (name, d) =
+  match d with
+  | Counter_v v ->
+    Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"counter\",\"value\":%d}"
+      (json_escape name) v
+  | Gauge_v v ->
+    Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"gauge\",\"value\":%s}"
+      (json_escape name) (json_float v)
+  | Histogram_v h ->
+    let bucket i n =
+      let le =
+        if i < Array.length h.bounds then json_float h.bounds.(i)
+        else "\"inf\""
+      in
+      Printf.sprintf "{\"le\":%s,\"n\":%d}" le n
+    in
+    let buckets =
+      String.concat "," (List.mapi bucket (Array.to_list h.counts))
+    in
+    Printf.sprintf
+      "{\"metric\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+      (json_escape name) h.total (json_float h.sum) buckets
+
+let write_jsonl ?(registry = default) ?(append = false) path =
+  let flags =
+    if append then [ Open_wronly; Open_creat; Open_append ]
+    else [ Open_wronly; Open_creat; Open_trunc ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  List.iter
+    (fun e ->
+      output_string oc (jsonl_line e);
+      output_char oc '\n')
+    (snapshot ~registry ());
+  close_out oc

@@ -1,0 +1,93 @@
+(** Metrics registry: named monotonic counters, gauges and fixed-bucket
+    histograms for the ATPG pipeline.
+
+    Metrics are registered by name in a registry (the shared {!default}
+    registry unless one is passed explicitly); registration is
+    idempotent — asking for an existing name returns the existing
+    instance, so modules can declare their metrics at load time and
+    hot paths pay only a single mutable-field update per increment.
+
+    Snapshots are taken on demand and can be rendered as an aligned text
+    table, a CSV ({!Pdf_util.Csv}) or a JSON-lines file, so experiment
+    drivers can persist one row per metric next to their outputs. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+(** A fresh, empty registry (used by tests for isolation). *)
+
+val default : t
+(** The process-wide registry all library instrumentation uses. *)
+
+(** {2 Counters} *)
+
+val counter : ?registry:t -> string -> counter
+(** Get or create the named monotonic counter.  Raises [Invalid_argument]
+    if the name is already registered as a different metric kind. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** [add c n] with [n < 0] raises [Invalid_argument] (counters are
+    monotonic). *)
+
+val value : counter -> int
+
+(** {2 Gauges} *)
+
+val gauge : ?registry:t -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val set_int : gauge -> int -> unit
+
+val gauge_value : gauge -> float
+
+(** {2 Histograms} *)
+
+val histogram : ?registry:t -> buckets:float array -> string -> histogram
+(** Fixed upper-bound buckets, strictly increasing; an implicit overflow
+    bucket collects everything above the last bound.  Re-registering the
+    same name with different buckets raises [Invalid_argument]. *)
+
+val observe : histogram -> float -> unit
+
+val observe_int : histogram -> int -> unit
+
+(** {2 Snapshot, reset, export} *)
+
+type hist_data = {
+  bounds : float array;
+  counts : int array;  (** length [Array.length bounds + 1]; last = overflow *)
+  sum : float;
+  total : int;
+}
+
+type data =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of hist_data
+
+val snapshot : ?registry:t -> unit -> (string * data) list
+(** Current values, sorted by metric name. *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every metric in the registry (registrations are kept). *)
+
+val to_table : ?registry:t -> unit -> Pdf_util.Table.t
+(** Columns [metric | kind | value | detail]; histograms render their
+    bucket counts in [detail]. *)
+
+val to_csv : ?registry:t -> unit -> Pdf_util.Csv.t
+(** Same columns as {!to_table}. *)
+
+val write_csv : ?registry:t -> string -> unit
+
+val write_jsonl : ?registry:t -> ?append:bool -> string -> unit
+(** One JSON object per metric per line, e.g.
+    [{"metric":"justify.runs","kind":"counter","value":1234}]. *)

@@ -1,0 +1,160 @@
+type record = {
+  name : string;
+  depth : int;
+  wall_s : float;
+  self_s : float;
+  alloc_words : float;
+}
+
+type sink = Null | Emit of (record -> unit)
+
+let current_sink = ref Null
+
+let set_sink s = current_sink := s
+
+let sink () = !current_sink
+
+type frame = { frame_id : int; mutable child_s : float }
+
+(* Stack of open spans; only touched when a sink is installed. *)
+let stack : frame list ref = ref []
+
+let next_id = ref 0
+
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let with_ name f =
+  match !current_sink with
+  | Null -> f ()
+  | Emit emit ->
+    incr next_id;
+    let fr = { frame_id = !next_id; child_s = 0. } in
+    let depth = List.length !stack in
+    stack := fr :: !stack;
+    let a0 = allocated_words () in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let wall = Unix.gettimeofday () -. t0 in
+        let alloc = allocated_words () -. a0 in
+        (* Pop back to (and including) our frame even if an exception
+           skipped nested [finally] handlers. *)
+        let rec pop = function
+          | top :: rest when top.frame_id >= fr.frame_id ->
+            if top.frame_id = fr.frame_id then rest else pop rest
+          | rest -> rest
+        in
+        stack := pop !stack;
+        (match !stack with
+        | parent :: _ -> parent.child_s <- parent.child_s +. wall
+        | [] -> ());
+        emit
+          {
+            name;
+            depth;
+            wall_s = wall;
+            self_s = Float.max 0. (wall -. fr.child_s);
+            alloc_words = alloc;
+          })
+      f
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  acc_name : string;
+  mutable acc_count : int;
+  mutable acc_total : float;
+  mutable acc_self : float;
+  mutable acc_alloc : float;
+}
+
+type agg = (string, acc) Hashtbl.t
+
+type agg_row = {
+  row_name : string;
+  count : int;
+  total_s : float;
+  agg_self_s : float;
+  alloc_mw : float;
+}
+
+let agg () : agg = Hashtbl.create 16
+
+let agg_sink (a : agg) =
+  Emit
+    (fun r ->
+      let acc =
+        match Hashtbl.find_opt a r.name with
+        | Some acc -> acc
+        | None ->
+          let acc =
+            {
+              acc_name = r.name;
+              acc_count = 0;
+              acc_total = 0.;
+              acc_self = 0.;
+              acc_alloc = 0.;
+            }
+          in
+          Hashtbl.replace a r.name acc;
+          acc
+      in
+      acc.acc_count <- acc.acc_count + 1;
+      acc.acc_total <- acc.acc_total +. r.wall_s;
+      acc.acc_self <- acc.acc_self +. r.self_s;
+      acc.acc_alloc <- acc.acc_alloc +. r.alloc_words)
+
+let agg_rows (a : agg) =
+  Hashtbl.fold
+    (fun _ acc rows ->
+      {
+        row_name = acc.acc_name;
+        count = acc.acc_count;
+        total_s = acc.acc_total;
+        agg_self_s = acc.acc_self;
+        alloc_mw = acc.acc_alloc /. 1e6;
+      }
+      :: rows)
+    a []
+  |> List.sort (fun x y -> Float.compare y.total_s x.total_s)
+
+let agg_self_total (a : agg) =
+  Hashtbl.fold (fun _ acc t -> t +. acc.acc_self) a 0.
+
+let agg_table ?wall_s (a : agg) =
+  let columns =
+    [
+      ("span", Pdf_util.Table.Left); ("count", Pdf_util.Table.Right);
+      ("total s", Pdf_util.Table.Right); ("self s", Pdf_util.Table.Right);
+      ("alloc Mw", Pdf_util.Table.Right);
+    ]
+    @
+    match wall_s with
+    | Some _ -> [ ("% wall", Pdf_util.Table.Right) ]
+    | None -> []
+  in
+  let t = Pdf_util.Table.create columns in
+  List.iter
+    (fun r ->
+      let base =
+        [
+          r.row_name; string_of_int r.count;
+          Printf.sprintf "%.3f" r.total_s;
+          Printf.sprintf "%.3f" r.agg_self_s;
+          Printf.sprintf "%.2f" r.alloc_mw;
+        ]
+      in
+      let extra =
+        match wall_s with
+        | Some w when w > 0. ->
+          [ Printf.sprintf "%.1f" (100. *. r.agg_self_s /. w) ]
+        | Some _ -> [ "-" ]
+        | None -> []
+      in
+      Pdf_util.Table.add_row t (base @ extra))
+    (agg_rows a);
+  t

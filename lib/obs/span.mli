@@ -1,0 +1,62 @@
+(** Span-based tracing: wall-clock + allocation per pipeline phase.
+
+    [with_ name f] runs [f] inside a named span.  Spans nest; each
+    completed span is delivered to the installed {!sink} as a {!record}
+    carrying its inclusive wall time, its self time (inclusive minus the
+    time spent in child spans) and the words it allocated
+    ({!Gc.quick_stat}).
+
+    The default sink is {!Null}: a span then costs a single match on the
+    sink reference, so instrumented hot paths are essentially free when
+    tracing is off. *)
+
+type record = {
+  name : string;
+  depth : int;  (** nesting depth at entry; 0 = top level *)
+  wall_s : float;  (** inclusive wall-clock seconds *)
+  self_s : float;  (** [wall_s] minus the time spent in child spans *)
+  alloc_words : float;  (** words allocated while the span was open *)
+}
+
+type sink = Null | Emit of (record -> unit)
+
+val set_sink : sink -> unit
+(** Install a sink process-wide.  {!Null} disables tracing. *)
+
+val sink : unit -> sink
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  The record is emitted even when
+    the thunk raises (the exception is re-raised). *)
+
+(** {2 Aggregation}
+
+    An aggregator is a sink that folds records into one row per span
+    name — bounded memory no matter how many spans fire — and renders the
+    result as a profile table. *)
+
+type agg
+
+type agg_row = {
+  row_name : string;
+  count : int;
+  total_s : float;  (** summed inclusive wall time *)
+  agg_self_s : float;  (** summed self time *)
+  alloc_mw : float;  (** summed allocation, in millions of words *)
+}
+
+val agg : unit -> agg
+
+val agg_sink : agg -> sink
+
+val agg_rows : agg -> agg_row list
+(** Sorted by decreasing total time. *)
+
+val agg_self_total : agg -> float
+(** Sum of self time over every span — total instrumented wall time,
+    with no double counting across nesting levels. *)
+
+val agg_table : ?wall_s:float -> agg -> Pdf_util.Table.t
+(** Profile table: span, count, total/self seconds, allocation; when
+    [wall_s] is given, a percent-of-wall-clock column (from self time)
+    is included. *)

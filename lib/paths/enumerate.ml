@@ -1,5 +1,13 @@
 module Circuit = Pdf_circuit.Circuit
 module Heap = Pdf_util.Heap
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
+module Log = Pdf_obs.Log
+
+let m_steps = Metrics.counter "enumerate.steps"
+let m_completed = Metrics.counter "enumerate.paths_completed"
+let m_pruned = Metrics.counter "enumerate.paths_pruned"
+let m_truncated = Metrics.counter "enumerate.truncated"
 
 type mode = Simple | Distance_pruned
 
@@ -240,8 +248,20 @@ let enumerate ?(mode = Distance_pruned) ?(record_events = false) ?max_steps c
   let max_steps =
     match max_steps with Some s -> s | None -> (100 * max_paths) + 10_000
   in
-  let dist = Distance.compute c model in
-  match mode with
-  | Distance_pruned ->
-    run_distance c model dist ~max_paths ~max_steps ~record_events
-  | Simple -> run_simple c model dist ~max_paths ~max_steps ~record_events
+  Span.with_ "enumerate" (fun () ->
+      let dist = Distance.compute c model in
+      let r =
+        match mode with
+        | Distance_pruned ->
+          run_distance c model dist ~max_paths ~max_steps ~record_events
+        | Simple ->
+          run_simple c model dist ~max_paths ~max_steps ~record_events
+      in
+      Metrics.add m_steps r.steps;
+      Metrics.add m_completed (List.length r.paths);
+      Metrics.add m_pruned r.evicted;
+      if r.truncated then Metrics.incr m_truncated;
+      Log.debug "enumerate: %d complete paths, %d steps, %d pruned%s"
+        (List.length r.paths) r.steps r.evicted
+        (if r.truncated then " (truncated)" else "");
+      r)

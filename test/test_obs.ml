@@ -1,0 +1,333 @@
+(* Tests for Pdf_obs: metrics registry semantics (counters, gauges,
+   histograms, snapshot/reset, export), nested span tracing, and the
+   determinism guard — instrumentation must not change ATPG results. *)
+
+module Metrics = Pdf_obs.Metrics
+module Span = Pdf_obs.Span
+module Log = Pdf_obs.Log
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "c" in
+  check Alcotest.int "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  check Alcotest.int "incr + add" 5 (Metrics.value c)
+
+let test_counter_get_or_create () =
+  let r = Metrics.create () in
+  let a = Metrics.counter ~registry:r "c" in
+  Metrics.incr a;
+  let b = Metrics.counter ~registry:r "c" in
+  (* Same name resolves to the same counter instance. *)
+  Metrics.incr b;
+  check Alcotest.int "shared instance" 2 (Metrics.value a)
+
+let test_counter_monotonic () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "c" in
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: counters are monotonic") (fun () ->
+      Metrics.add c (-1))
+
+let test_kind_clash () =
+  let r = Metrics.create () in
+  let _ = Metrics.counter ~registry:r "m" in
+  (try
+     ignore (Metrics.gauge ~registry:r "m");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: gauges and histograms                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "g" in
+  check (Alcotest.float 0.) "zero" 0. (Metrics.gauge_value g);
+  Metrics.set g 2.5;
+  check (Alcotest.float 0.) "set" 2.5 (Metrics.gauge_value g);
+  Metrics.set_int g 7;
+  check (Alcotest.float 0.) "set_int" 7. (Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.; 2. |] "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 5.0 ];
+  match Metrics.snapshot ~registry:r () with
+  | [ ("h", Metrics.Histogram_v d) ] ->
+    check Alcotest.(array int) "bucket counts" [| 2; 1; 1 |] d.Metrics.counts;
+    check Alcotest.int "total" 4 d.Metrics.total;
+    check (Alcotest.float 1e-9) "sum" 8.0 d.Metrics.sum
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+let test_histogram_validation () =
+  let r = Metrics.create () in
+  (try
+     ignore (Metrics.histogram ~registry:r ~buckets:[| 2.; 1. |] "h");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  let _ = Metrics.histogram ~registry:r ~buckets:[| 1.; 2. |] "h2" in
+  (* Re-registration with different buckets is refused. *)
+  (try
+     ignore (Metrics.histogram ~registry:r ~buckets:[| 3. |] "h2");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: snapshot, reset, export                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_sorted_and_reset () =
+  let r = Metrics.create () in
+  let b = Metrics.counter ~registry:r "b" in
+  let a = Metrics.counter ~registry:r "a" in
+  let g = Metrics.gauge ~registry:r "z" in
+  Metrics.incr b;
+  Metrics.incr a;
+  Metrics.set g 3.;
+  (match Metrics.snapshot ~registry:r () with
+  | [ ("a", Metrics.Counter_v 1); ("b", Metrics.Counter_v 1);
+      ("z", Metrics.Gauge_v 3.) ] ->
+    ()
+  | _ -> Alcotest.fail "snapshot not sorted or wrong values");
+  Metrics.reset ~registry:r ();
+  check Alcotest.int "counter reset" 0 (Metrics.value a);
+  check (Alcotest.float 0.) "gauge reset" 0. (Metrics.gauge_value g);
+  (* Registrations survive a reset. *)
+  check Alcotest.int "still registered" 3
+    (List.length (Metrics.snapshot ~registry:r ()))
+
+let test_csv_export () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "runs" in
+  Metrics.add c 42;
+  let csv = Pdf_util.Csv.render (Metrics.to_csv ~registry:r ()) in
+  check Alcotest.bool "header" true
+    (String.length csv >= 25 && String.sub csv 0 25 = "metric,kind,value,detail\n");
+  let contains_line l =
+    List.mem l (String.split_on_char '\n' csv)
+  in
+  check Alcotest.bool "counter row" true (contains_line "runs,counter,42,")
+
+let test_jsonl_export () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter ~registry:r "x") 7;
+  Metrics.set (Metrics.gauge ~registry:r "y") 1.5;
+  let path = Filename.temp_file "pdf_obs" ".jsonl" in
+  Metrics.write_jsonl ~registry:r path;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check Alcotest.int "one line per metric" 2 (List.length lines);
+  check Alcotest.string "counter json"
+    "{\"metric\":\"x\",\"kind\":\"counter\",\"value\":7}" (List.nth lines 0);
+  check Alcotest.string "gauge json"
+    "{\"metric\":\"y\",\"kind\":\"gauge\",\"value\":1.5}" (List.nth lines 1)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_recording_sink f =
+  let records = ref [] in
+  Span.set_sink (Span.Emit (fun r -> records := r :: !records));
+  Fun.protect ~finally:(fun () -> Span.set_sink Span.Null) f;
+  List.rev !records
+
+let test_span_nesting () =
+  let records =
+    with_recording_sink (fun () ->
+        Span.with_ "outer" (fun () ->
+            Span.with_ "inner" (fun () -> Sys.opaque_identity (ignore 0));
+            Span.with_ "inner" (fun () -> Sys.opaque_identity (ignore 1))))
+  in
+  (* Children complete (and are emitted) before their parent. *)
+  check Alcotest.(list string) "emit order"
+    [ "inner"; "inner"; "outer" ]
+    (List.map (fun r -> r.Span.name) records);
+  check Alcotest.(list int) "depths" [ 1; 1; 0 ]
+    (List.map (fun r -> r.Span.depth) records);
+  let outer = List.nth records 2 in
+  let inner_total =
+    List.fold_left
+      (fun acc (r : Span.record) ->
+        if r.Span.name = "inner" then acc +. r.Span.wall_s else acc)
+      0. records
+  in
+  (* Self time excludes child spans. *)
+  check Alcotest.bool "self <= wall" true
+    (outer.Span.self_s <= outer.Span.wall_s +. 1e-9);
+  check Alcotest.bool "self excludes children" true
+    (outer.Span.self_s <= outer.Span.wall_s -. inner_total +. 1e-6)
+
+let test_span_exception () =
+  let records =
+    with_recording_sink (fun () ->
+        (try Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
+        Span.with_ "after" (fun () -> ()))
+  in
+  check Alcotest.(list string) "emitted despite exception"
+    [ "boom"; "after" ]
+    (List.map (fun r -> r.Span.name) records);
+  (* The stack recovered: the follow-up span is top-level again. *)
+  check Alcotest.int "depth recovered" 0 (List.nth records 1).Span.depth
+
+let test_span_null_sink_passthrough () =
+  Span.set_sink Span.Null;
+  check Alcotest.int "result passes through" 7 (Span.with_ "x" (fun () -> 7))
+
+let test_agg () =
+  let agg = Span.agg () in
+  Span.set_sink (Span.agg_sink agg);
+  Fun.protect
+    ~finally:(fun () -> Span.set_sink Span.Null)
+    (fun () ->
+      Span.with_ "a" (fun () -> Span.with_ "b" (fun () -> ()));
+      Span.with_ "b" (fun () -> ()));
+  let rows = Span.agg_rows agg in
+  check Alcotest.int "two names" 2 (List.length rows);
+  let b = List.find (fun r -> r.Span.row_name = "b") rows in
+  check Alcotest.int "b count" 2 b.Span.count;
+  (* Self-time totals never double count nested spans. *)
+  let total = Span.agg_self_total agg in
+  let sum_wall_top =
+    List.fold_left
+      (fun acc (r : Span.agg_row) ->
+        if r.Span.row_name = "a" then acc +. r.Span.total_s else acc)
+      0. rows
+  in
+  check Alcotest.bool "self total sane" true (total >= sum_wall_top -. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_levels () =
+  let saved = Log.level () in
+  Fun.protect
+    ~finally:(fun () -> Log.set_level saved)
+    (fun () ->
+      Log.set_level Log.Warn;
+      check Alcotest.bool "debug off" false (Log.enabled Log.Debug);
+      check Alcotest.bool "error on" true (Log.enabled Log.Error);
+      Log.set_level Log.Quiet;
+      check Alcotest.bool "quiet mutes errors" false (Log.enabled Log.Error);
+      check Alcotest.bool "quiet never logs" false (Log.enabled Log.Quiet))
+
+let test_log_of_string () =
+  check Alcotest.bool "debug parses" true
+    (Log.of_string "debug" = Some Log.Debug);
+  check Alcotest.bool "unknown rejected" true (Log.of_string "chatty" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism guard: instrumentation must not change results          *)
+(* ------------------------------------------------------------------ *)
+
+let s27 = Pdf_synth.Iscas.s27 ()
+
+let enrich_result () =
+  let module Target_sets = Pdf_faults.Target_sets in
+  let module Fault_sim = Pdf_core.Fault_sim in
+  let module Atpg = Pdf_core.Atpg in
+  let ts =
+    Target_sets.build s27 (Pdf_paths.Delay_model.lines s27) ~n_p:40 ~n_p0:10
+  in
+  let faults = Fault_sim.prepare s27 ts.Target_sets.p in
+  let n0 = List.length ts.Target_sets.p0 in
+  let p0 = List.init n0 Fun.id in
+  let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+  let res = Atpg.enrich s27 ~seed:2002 ~faults ~p0 ~p1 in
+  ( List.map Pdf_core.Test_pair.to_string res.Atpg.tests,
+    Array.to_list res.Atpg.detected )
+
+let test_null_sink_determinism () =
+  (* The same seeded run must be bit-identical whether tracing is off
+     (null sink), recording, or aggregating — spans and counters must not
+     touch the algorithm. *)
+  Span.set_sink Span.Null;
+  let base = enrich_result () in
+  let under_recording_sink =
+    let result = ref None in
+    let records =
+      with_recording_sink (fun () -> result := Some (enrich_result ()))
+    in
+    check Alcotest.bool "spans fired" true (List.length records > 0);
+    Option.get !result
+  in
+  let agg = Span.agg () in
+  Span.set_sink (Span.agg_sink agg);
+  let under_agg_sink =
+    Fun.protect ~finally:(fun () -> Span.set_sink Span.Null) enrich_result
+  in
+  check Alcotest.(pair (list string) (list bool)) "recording sink identical"
+    base under_recording_sink;
+  check Alcotest.(pair (list string) (list bool)) "aggregating sink identical"
+    base under_agg_sink
+
+let test_counters_deterministic () =
+  (* Two identical seeded runs advance the candidate-evaluation counter by
+     exactly the same amount (guards the delta accumulator rewrite). *)
+  Span.set_sink Span.Null;
+  let evals = Metrics.counter "atpg.delta_evals" in
+  let v0 = Metrics.value evals in
+  let r1 = enrich_result () in
+  let v1 = Metrics.value evals in
+  let r2 = enrich_result () in
+  let v2 = Metrics.value evals in
+  check Alcotest.(pair (list string) (list bool)) "same results" r1 r2;
+  check Alcotest.int "same delta evaluations" (v1 - v0) (v2 - v1);
+  check Alcotest.bool "counter advanced" true (v1 > v0)
+
+let () =
+  Alcotest.run "pdf_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "get or create" `Quick test_counter_get_or_create;
+          Alcotest.test_case "monotonic" `Quick test_counter_monotonic;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram validation" `Quick
+            test_histogram_validation;
+          Alcotest.test_case "snapshot + reset" `Quick
+            test_snapshot_sorted_and_reset;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+          Alcotest.test_case "jsonl export" `Quick test_jsonl_export;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception;
+          Alcotest.test_case "null sink passthrough" `Quick
+            test_span_null_sink_passthrough;
+          Alcotest.test_case "aggregation" `Quick test_agg;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels" `Quick test_log_levels;
+          Alcotest.test_case "of_string" `Quick test_log_of_string;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "null sink identical results" `Quick
+            test_null_sink_determinism;
+          Alcotest.test_case "counters deterministic" `Quick
+            test_counters_deterministic;
+        ] );
+    ]
