@@ -7,8 +7,10 @@
    Scale selection: PDF_SCALE=paper uses the paper's constants
    (N_P = 10000, N_P0 = 1000); the default "small" scale divides both by
    five so the suite completes in minutes.  PDF_SEED overrides the seed.
-   PDF_TRACE=1 enables span tracing and prints a per-table phase profile
-   at the end. *)
+   PDF_JOBS=N fans the per-circuit runs of Tables 3-7 out over N domains
+   (results are identical to PDF_JOBS=1; progress lines go to stderr so
+   stdout stays deterministic).  PDF_TRACE=1 enables span tracing and
+   prints a per-table phase profile at the end. *)
 
 module Experiments = Pdf_experiments
 module Runner = Experiments.Runner
@@ -48,11 +50,14 @@ let trace_agg =
 let hr title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+let pool = Pdf_par.Pool.default ()
+
 let () =
   Printf.printf
     "Test enrichment for path delay faults - table regeneration\n\
-     scale=%s (N_P=%d, N_P0=%d) seed=%d\n"
+     scale=%s (N_P=%d, N_P0=%d) seed=%d jobs=%d\n"
     scale.Workload.label scale.Workload.n_p scale.Workload.n_p0 seed
+    (Pdf_par.Pool.jobs pool)
 
 let () =
   hr "Table 1 / Figure 1 (s27 walkthrough)";
@@ -60,21 +65,24 @@ let () =
   hr "Table 2 (path-length histogram)";
   Span.with_ "table2" (fun () -> print_string (Tables.table2 scale))
 
-(* One full experiment run per circuit feeds Tables 3-7. *)
+(* One full experiment run per circuit feeds Tables 3-7.  The runs are
+   independent, so they fan out across the pool; progress goes to stderr
+   (it may interleave) while stdout stays byte-identical to PDF_JOBS=1
+   because Pool.map returns results in Profiles.table_rows order. *)
 let table_runs =
   Span.with_ "tables3-7.runs" (fun () ->
-      List.map
+      Pdf_par.Pool.map pool
         (fun profile ->
-          Printf.printf "running %s...\n%!" profile.Profiles.name;
-          Runner.run ~seed scale profile)
+          Printf.eprintf "running %s...\n%!" profile.Profiles.name;
+          Runner.run ~pool ~seed scale profile)
         Profiles.table_rows)
 
 let star_runs =
   Span.with_ "table6.star_runs" (fun () ->
-      List.map
+      Pdf_par.Pool.map pool
         (fun profile ->
-          Printf.printf "running %s...\n%!" profile.Profiles.name;
-          Runner.run ~seed ~with_basics:false scale profile)
+          Printf.eprintf "running %s...\n%!" profile.Profiles.name;
+          Runner.run ~pool ~seed ~with_basics:false scale profile)
         Profiles.star_rows)
 
 let () =

@@ -66,10 +66,12 @@ let with_circuit name f =
     prerr_endline msg;
     exit 1
 
-(* Observability options shared by every subcommand: --verbose lowers the
-   event-log threshold (also settable via PDF_LOG), --metrics-out dumps
-   the metrics registry when the command finishes (CSV, or JSON lines
-   when the file name ends in .jsonl). *)
+(* Observability and execution options shared by every subcommand:
+   --verbose lowers the event-log threshold (also settable via PDF_LOG),
+   --metrics-out dumps the metrics registry when the command finishes
+   (CSV, or JSON lines when the file name ends in .jsonl), --jobs sets
+   the degree of parallelism of the process default pool (also settable
+   via PDF_JOBS; 1 = fully sequential, the default). *)
 let obs_setup =
   let metrics_out =
     Arg.(value & opt (some string) None
@@ -82,11 +84,25 @@ let obs_setup =
          & info [ "v"; "verbose" ]
              ~doc:"Log progress events to stderr (repeat for debug).")
   in
-  let setup metrics_out verbose =
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Run independent work (orderings, circuit runs, \
+                   fault-simulation chunks) on $(docv) domains.  Results \
+                   are deterministic: any $(docv) produces the same \
+                   output as 1.  Defaults to $(b,PDF_JOBS) or 1.")
+  in
+  let setup metrics_out verbose jobs =
     (match verbose with
     | [] -> ()
     | [ _ ] -> Log.set_level Log.Info
     | _ -> Log.set_level Log.Debug);
+    (match jobs with
+    | None -> ()
+    | Some n when n >= 1 -> Pdf_par.Pool.set_default_jobs n
+    | Some n ->
+      Printf.eprintf "pdfatpg: --jobs %d is invalid (want >= 1)\n" n;
+      exit 2);
     match metrics_out with
     | None -> ()
     | Some path ->
@@ -98,7 +114,7 @@ let obs_setup =
           with Sys_error msg ->
             Printf.eprintf "pdfatpg: cannot write metrics: %s\n" msg)
   in
-  Term.(const setup $ metrics_out $ verbose)
+  Term.(const setup $ metrics_out $ verbose $ jobs)
 
 (* ------------------------------------------------------------------ *)
 
@@ -670,19 +686,24 @@ let tables_cmd =
     if need 1 then print_string (Tables.table1 ());
     if need 2 then print_string (Tables.table2 scale);
     if need 3 || need 4 || need 5 || need 6 || need 7 then begin
+      (* Each circuit run is independent (own seed-derived RNGs, own
+         justification engine); fan them out across the default pool.
+         Pool.map keeps the Profiles.table_rows order, so the rendered
+         tables are identical whatever --jobs is. *)
+      let pool = Pdf_par.Pool.default () in
       let table_runs =
-        List.map
+        Pdf_par.Pool.map pool
           (fun p ->
             Printf.eprintf "running %s...\n%!" p.Profiles.name;
-            Runner.run ~seed scale p)
+            Runner.run ~pool ~seed scale p)
           Profiles.table_rows
       in
       let star_runs =
         if need 6 then
-          List.map
+          Pdf_par.Pool.map pool
             (fun p ->
               Printf.eprintf "running %s...\n%!" p.Profiles.name;
-              Runner.run ~seed ~with_basics:false scale p)
+              Runner.run ~pool ~seed ~with_basics:false scale p)
             Profiles.star_rows
         else []
       in

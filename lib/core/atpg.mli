@@ -17,19 +17,30 @@
       pools [P0] then [P1]: [P1] faults are only targeted with values left
       over after [P0], so the test count is fixed by [P0] alone. *)
 
+(** Per-run configuration: which compaction heuristic orders the targets
+    and the seed all of the run's randomness derives from.  Two runs with
+    the same configuration and fault set produce identical results — the
+    run never reads shared mutable state, so runs with different
+    configurations may execute concurrently on separate domains (see
+    DESIGN.md, "Architecture & concurrency model"). *)
 type config = {
-  ordering : Ordering.t;
-  seed : int;
+  ordering : Ordering.t;  (** target-ordering heuristic *)
+  seed : int;  (** seeds the run's private RNG *)
 }
 
+(** Outcome of one generation run. *)
 type result = {
   tests : Test_pair.t list;  (** in generation order *)
   detected : bool array;  (** over all prepared fault ids *)
   primary_aborts : int;
       (** primaries for which justification found no test *)
   justification_runs : int;
+      (** justification searches this run performed (per-engine count) *)
   justification_trials : int;
-  runtime_s : float;  (** CPU seconds ([Sys.time]) *)
+      (** trial simulations this run performed (per-engine count) *)
+  runtime_s : float;
+      (** wall-clock seconds of this run only — meaningful even when
+          several runs execute concurrently *)
 }
 
 val generate :

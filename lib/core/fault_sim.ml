@@ -47,22 +47,66 @@ let detected_by_test c test faults =
       d)
     faults
 
-let detected_by_tests c tests faults =
-  Span.with_ "fault-sim" @@ fun () ->
-  let detected = Array.make (Array.length faults) false in
-  List.iter
-    (fun test ->
-      Metrics.incr m_simulations;
-      let values = Test_pair.simulate c test in
-      Array.iteri
-        (fun i p ->
-          if (not detected.(i)) && detects_values values p then begin
-            detected.(i) <- true;
-            Metrics.incr m_detections
-          end)
-        faults)
-    tests;
-  detected
-
 let count detected =
   Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 detected
+
+(* Sequential scan over [tests.(lo .. hi-1)], metrics-free: the caller
+   accounts for simulations and detections so parallel chunks add up to
+   exactly the sequential totals. *)
+let detect_chunk c tests faults (lo, hi) =
+  let detected = Array.make (Array.length faults) false in
+  for t = lo to hi - 1 do
+    let values = Test_pair.simulate c tests.(t) in
+    Array.iteri
+      (fun i p ->
+        if (not detected.(i)) && detects_values values p then
+          detected.(i) <- true)
+      faults
+  done;
+  detected
+
+let detected_by_tests ?pool c tests faults =
+  Span.with_ "fault-sim" @@ fun () ->
+  let pool =
+    match pool with Some p -> p | None -> Pdf_par.Pool.default ()
+  in
+  let jobs = Pdf_par.Pool.jobs pool in
+  let n_tests = List.length tests in
+  if jobs = 1 || n_tests < 2 then begin
+    let detected = Array.make (Array.length faults) false in
+    List.iter
+      (fun test ->
+        Metrics.incr m_simulations;
+        let values = Test_pair.simulate c test in
+        Array.iteri
+          (fun i p ->
+            if (not detected.(i)) && detects_values values p then begin
+              detected.(i) <- true;
+              Metrics.incr m_detections
+            end)
+          faults)
+      tests;
+    detected
+  end
+  else begin
+    (* Contiguous chunks, one per domain; OR is commutative so the merge
+       order cannot affect the result, and the merged flags are
+       bit-identical to the sequential scan. *)
+    let tests = Array.of_list tests in
+    let chunks = min jobs n_tests in
+    let bounds =
+      Array.init chunks (fun k ->
+          (k * n_tests / chunks, (k + 1) * n_tests / chunks))
+    in
+    let partials =
+      Pdf_par.Pool.map_array pool (detect_chunk c tests faults) bounds
+    in
+    let detected = Array.make (Array.length faults) false in
+    Array.iter
+      (fun part ->
+        Array.iteri (fun i d -> if d then detected.(i) <- true) part)
+      partials;
+    Metrics.add m_simulations n_tests;
+    Metrics.add m_detections (count detected);
+    detected
+  end

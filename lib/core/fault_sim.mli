@@ -4,9 +4,12 @@
     values satisfy the fault's condition set [A(p)] — detection checking
     is therefore a per-fault scan over one whole-circuit simulation. *)
 
+(** A fault with its precomputed, merged condition set, ready for
+    simulation.  [id] is the fault's index in the prepared array and is
+    the id every ATPG entry point works with. *)
 type prepared = {
-  id : int;
-  fault : Pdf_faults.Fault.t;
+  id : int;  (** index in the array returned by {!prepare} *)
+  fault : Pdf_faults.Fault.t;  (** the underlying path delay fault *)
   length : int;  (** path length under the experiment's delay model *)
   reqs : (int * Pdf_values.Req.t) list;  (** merged [A(p)] *)
 }
@@ -29,7 +32,19 @@ val detected_by_test :
 (** One simulation, then all faults checked. *)
 
 val detected_by_tests :
-  Pdf_circuit.Circuit.t -> Test_pair.t list -> prepared array -> bool array
-(** Union over a whole test set. *)
+  ?pool:Pdf_par.Pool.t ->
+  Pdf_circuit.Circuit.t ->
+  Test_pair.t list ->
+  prepared array ->
+  bool array
+(** Union over a whole test set.  When [pool] (default:
+    {!Pdf_par.Pool.default}) has more than one job, the test list is cut
+    into one contiguous chunk per job, each chunk is simulated on its own
+    domain into a private detection array, and the arrays are merged by
+    OR — bit-identical to the sequential scan, since detection flags only
+    ever go from [false] to [true] and OR is commutative.  Metric totals
+    ([fault_sim.simulations], [fault_sim.detections]) also match the
+    sequential run exactly. *)
 
 val count : bool array -> int
+(** Number of [true] flags, i.e. detected faults. *)

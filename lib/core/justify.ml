@@ -19,13 +19,17 @@ let h_backtrack_depth =
     ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
     "justify.backtrack_depth"
 
-type t = { circuit : Circuit.t }
+(* [e_runs]/[e_trials] mirror the process-wide metric counters but are
+   per-engine, so callers measuring one phase get exact figures even
+   when other engines run concurrently on other domains.  An engine is
+   only ever driven from one domain at a time. *)
+type t = { circuit : Circuit.t; mutable e_runs : int; mutable e_trials : int }
 
-let create circuit = { circuit }
+let create circuit = { circuit; e_runs = 0; e_trials = 0 }
 
-let runs (_ : t) = Metrics.value m_runs
+let runs t = t.e_runs
 
-let trials (_ : t) = Metrics.value m_trials
+let trials t = t.e_trials
 
 exception No_test
 
@@ -134,8 +138,9 @@ exception Trial_conflict
    cone using an overlay (values stamped with the trial id); any definite
    value contradicting a requirement aborts with a conflict.  The
    persistent state is untouched. *)
-let trial _engine st pi j b =
+let trial engine st pi j b =
   Metrics.incr m_trials;
+  engine.e_trials <- engine.e_trials + 1;
   st.trial_id <- st.trial_id + 1;
   let id = st.trial_id in
   let read k net =
@@ -317,6 +322,7 @@ exception Budget_exhausted
 let run_complete ?(max_backtracks = 10_000) engine ~reqs =
   Span.with_ "justify" @@ fun () ->
   Metrics.incr m_runs;
+  engine.e_runs <- engine.e_runs + 1;
   let c = engine.circuit in
   match merge_reqs reqs with
   | None ->
@@ -443,6 +449,7 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
 let run engine ~rng ~reqs =
   Span.with_ "justify" @@ fun () ->
   Metrics.incr m_runs;
+  engine.e_runs <- engine.e_runs + 1;
   let c = engine.circuit in
   match merge_reqs reqs with
   | None ->

@@ -20,8 +20,12 @@
     randomly (equivalent to the paper's random decisions on them). *)
 
 type t
+(** A justification engine for one circuit.  Engines hold per-engine
+    effort counters and scratch state: drive each engine from a single
+    domain at a time (create one engine per concurrent ATPG run). *)
 
 val create : Pdf_circuit.Circuit.t -> t
+(** A fresh engine with zeroed {!runs}/{!trials} counters. *)
 
 val run :
   t ->
@@ -33,14 +37,15 @@ val run :
     first (a direct conflict fails immediately). *)
 
 val runs : t -> int
-(** Number of [run]/[run_complete] invocations so far.  Backed by the
-    process-wide [justify.runs] counter in {!Pdf_obs.Metrics} (every
-    engine shares it); callers wanting a per-phase figure take the
-    difference around the phase. *)
+(** Number of [run]/[run_complete] invocations on {e this} engine.  The
+    process-wide [justify.runs] counter in {!Pdf_obs.Metrics} also counts
+    every invocation, but sums over all engines; the per-engine figure
+    stays exact when other engines run concurrently on other domains. *)
 
 val trials : t -> int
-(** Total trial simulations performed (effort metric).  Backed by the
-    process-wide [justify.trials] counter, like {!runs}. *)
+(** Trial simulations performed by {e this} engine (effort metric);
+    per-engine, like {!runs} — the process-wide total is the
+    [justify.trials] metric. *)
 
 (** {2 Complete search}
 

@@ -16,6 +16,9 @@ val name : t -> string
     ["values"]. *)
 
 val of_name : string -> t option
+(** Inverse of {!name}; also accepts the long spellings
+    ["uncompacted"], ["arbitrary"], ["length-based"], ["value-based"].
+    [None] on anything else. *)
 
 val all : t list
 (** In the paper's column order. *)

@@ -36,11 +36,14 @@ type circuit_run = {
   enrich_aborts : int;
 }
 
-let run ?(seed = Workload.default_seed) ?(with_basics = true)
+let run ?pool ?(seed = Workload.default_seed) ?(with_basics = true)
     (scale : Workload.scale) profile =
   Span.with_ "runner" @@ fun () ->
-  Log.info "runner: %s (scale=%s seed=%d)" profile.Profiles.name
-    scale.Workload.label seed;
+  let pool =
+    match pool with Some p -> p | None -> Pdf_par.Pool.default ()
+  in
+  Log.info "runner: %s (scale=%s seed=%d jobs=%d)" profile.Profiles.name
+    scale.Workload.label seed (Pdf_par.Pool.jobs pool);
   let c = Profiles.circuit profile in
   let model = Pdf_paths.Delay_model.lines c in
   let ts =
@@ -55,13 +58,19 @@ let run ?(seed = Workload.default_seed) ?(with_basics = true)
   let orderings =
     if with_basics then Ordering.all else [ Ordering.Value_based ]
   in
+  (* The orderings are independent runs: each derives all randomness
+     from [seed] and its own ordering (never from a shared RNG stream)
+     and shares only the immutable circuit and prepared faults, so
+     running them on the pool yields exactly the sequential results, in
+     [Ordering.all] order (Pool.map preserves input order). *)
   let basics =
-    List.map
+    Pdf_par.Pool.map pool
       (fun ordering ->
         Span.with_ ("basic-" ^ Ordering.name ordering) @@ fun () ->
         let res = Atpg.basic c { Atpg.ordering; seed } ~faults:faults0 in
         let p_detected =
-          Fault_sim.count (Fault_sim.detected_by_tests c res.Atpg.tests faults)
+          Fault_sim.count
+            (Fault_sim.detected_by_tests ~pool c res.Atpg.tests faults)
         in
         {
           ordering;
@@ -100,5 +109,5 @@ let ratio run =
   match
     List.find_opt (fun b -> b.ordering = Ordering.Value_based) run.basics
   with
-  | Some b when b.runtime_s > 0. -> run.enrich_runtime_s /. b.runtime_s
-  | Some _ | None -> Float.nan
+  | Some b when b.runtime_s > 0. -> Some (run.enrich_runtime_s /. b.runtime_s)
+  | Some _ | None -> None

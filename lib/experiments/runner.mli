@@ -30,6 +30,7 @@ type circuit_run = {
 }
 
 val run :
+  ?pool:Pdf_par.Pool.t ->
   ?seed:int ->
   ?with_basics:bool ->
   Workload.scale ->
@@ -38,7 +39,14 @@ val run :
 (** [run scale profile].  [with_basics] defaults to [true]; the
     resynthesized Table 6 rows only need the enrichment run (the basic
     fields are then zero/empty except the value-based run used for the
-    run-time ratio). *)
+    run-time ratio).
 
-val ratio : circuit_run -> float
-(** Table 7: enrichment run time over basic (value-based) run time. *)
+    The basic runs under the different orderings are independent (each
+    seeds its own RNG from [seed]) and execute on [pool] (default:
+    {!Pdf_par.Pool.default}) — results are identical to the sequential
+    run whatever the pool's job count. *)
+
+val ratio : circuit_run -> float option
+(** Table 7: enrichment run time over basic (value-based) run time.
+    [None] when the value-based basic run is absent or took no
+    measurable time — renderers print "n/a" instead of a NaN. *)

@@ -222,7 +222,9 @@ let table7_t runs =
         [
           run.Runner.profile.Pdf_synth.Profiles.name;
           string_of_int run.Runner.i0;
-          Printf.sprintf "%.2f" (Runner.ratio run);
+          (match Runner.ratio run with
+          | Some r -> Printf.sprintf "%.2f" r
+          | None -> "n/a");
         ])
     runs;
   t

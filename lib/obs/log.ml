@@ -38,7 +38,13 @@ let enabled l = l <> Quiet && rank l >= rank !current
 
 let t0 = Unix.gettimeofday ()
 
+(* One event = one atomic line on stderr, even when pool workers log
+   concurrently. *)
+let emit_mutex = Mutex.create ()
+
 let emit l msg fields =
+  Mutex.lock emit_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock emit_mutex) @@ fun () ->
   let fields_s =
     match fields with
     | [] -> ""

@@ -1,9 +1,17 @@
-type counter = { c_name : string; mutable count : int }
+(* Domain safety: counters and gauges are Atomic cells (lock-free hot
+   path); histograms guard their bucket array with a per-histogram mutex;
+   the registry hash table itself is guarded by a per-registry mutex so
+   concurrent registration (e.g. per-ordering ATPG counters created from
+   pool workers) is safe.  Snapshots lock the same mutexes, so a snapshot
+   taken while workers run is internally consistent per metric. *)
 
-type gauge = { g_name : string; mutable gauge_v : float }
+type counter = { c_name : string; count : int Atomic.t }
+
+type gauge = { g_name : string; gauge_v : float Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_mutex : Mutex.t;
   bounds : float array;
   counts : int array; (* length = Array.length bounds + 1; last = overflow *)
   mutable sum : float;
@@ -12,9 +20,9 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-type t = { entries : (string, metric) Hashtbl.t }
+type t = { entries : (string, metric) Hashtbl.t; r_mutex : Mutex.t }
 
-let create () = { entries = Hashtbl.create 64 }
+let create () = { entries = Hashtbl.create 64; r_mutex = Mutex.create () }
 
 let default = create ()
 
@@ -28,37 +36,50 @@ let clash name existing want =
     (Printf.sprintf "Metrics.%s: %S is already registered as a %s" want name
        (kind_name existing))
 
-let counter ?(registry = default) name =
-  match Hashtbl.find_opt registry.entries name with
-  | Some (Counter c) -> c
-  | Some m -> clash name m "counter"
-  | None ->
-    let c = { c_name = name; count = 0 } in
-    Hashtbl.replace registry.entries name (Counter c);
-    c
+(* Look up or register under the registry mutex; [make] must not lock. *)
+let intern registry name ~want ~match_ ~make =
+  Mutex.lock registry.r_mutex;
+  let result =
+    match Hashtbl.find_opt registry.entries name with
+    | Some m -> (
+      match match_ m with
+      | Some v -> Ok v
+      | None -> Error (fun () -> clash name m want))
+    | None ->
+      let v, m = make () in
+      Hashtbl.replace registry.entries name m;
+      Ok v
+  in
+  Mutex.unlock registry.r_mutex;
+  match result with Ok v -> v | Error raise_clash -> raise_clash ()
 
-let incr c = c.count <- c.count + 1
+let counter ?(registry = default) name =
+  intern registry name ~want:"counter"
+    ~match_:(function Counter c -> Some c | _ -> None)
+    ~make:(fun () ->
+      let c = { c_name = name; count = Atomic.make 0 } in
+      (c, Counter c))
+
+let incr c = Atomic.incr c.count
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
-  c.count <- c.count + n
+  ignore (Atomic.fetch_and_add c.count n)
 
-let value c = c.count
+let value c = Atomic.get c.count
 
 let gauge ?(registry = default) name =
-  match Hashtbl.find_opt registry.entries name with
-  | Some (Gauge g) -> g
-  | Some m -> clash name m "gauge"
-  | None ->
-    let g = { g_name = name; gauge_v = 0. } in
-    Hashtbl.replace registry.entries name (Gauge g);
-    g
+  intern registry name ~want:"gauge"
+    ~match_:(function Gauge g -> Some g | _ -> None)
+    ~make:(fun () ->
+      let g = { g_name = name; gauge_v = Atomic.make 0. } in
+      (g, Gauge g))
 
-let set g v = g.gauge_v <- v
+let set g v = Atomic.set g.gauge_v v
 
-let set_int g v = g.gauge_v <- float_of_int v
+let set_int g v = Atomic.set g.gauge_v (float_of_int v)
 
-let gauge_value g = g.gauge_v
+let gauge_value g = Atomic.get g.gauge_v
 
 let histogram ?(registry = default) ~buckets name =
   if Array.length buckets = 0 then
@@ -67,26 +88,28 @@ let histogram ?(registry = default) ~buckets name =
     if buckets.(i) <= buckets.(i - 1) then
       invalid_arg "Metrics.histogram: buckets must be strictly increasing"
   done;
-  match Hashtbl.find_opt registry.entries name with
-  | Some (Histogram h) ->
-    if h.bounds <> buckets then
-      invalid_arg
-        (Printf.sprintf
-           "Metrics.histogram: %S already registered with other buckets" name);
-    h
-  | Some m -> clash name m "histogram"
-  | None ->
-    let h =
-      {
-        h_name = name;
-        bounds = Array.copy buckets;
-        counts = Array.make (Array.length buckets + 1) 0;
-        sum = 0.;
-        total = 0;
-      }
-    in
-    Hashtbl.replace registry.entries name (Histogram h);
-    h
+  intern registry name ~want:"histogram"
+    ~match_:(function
+      | Histogram h ->
+        if h.bounds <> buckets then
+          invalid_arg
+            (Printf.sprintf
+               "Metrics.histogram: %S already registered with other buckets"
+               name);
+        Some h
+      | _ -> None)
+    ~make:(fun () ->
+      let h =
+        {
+          h_name = name;
+          h_mutex = Mutex.create ();
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          sum = 0.;
+          total = 0;
+        }
+      in
+      (h, Histogram h))
 
 let observe h v =
   let n = Array.length h.bounds in
@@ -94,9 +117,11 @@ let observe h v =
   while !i < n && v > h.bounds.(!i) do
     Stdlib.incr i
   done;
+  Mutex.lock h.h_mutex;
   h.counts.(!i) <- h.counts.(!i) + 1;
   h.sum <- h.sum +. v;
-  h.total <- h.total + 1
+  h.total <- h.total + 1;
+  Mutex.unlock h.h_mutex
 
 let observe_int h v = observe h (float_of_int v)
 
@@ -110,36 +135,50 @@ type hist_data = {
 type data = Counter_v of int | Gauge_v of float | Histogram_v of hist_data
 
 let snapshot ?(registry = default) () =
-  Hashtbl.fold
-    (fun name m acc ->
+  Mutex.lock registry.r_mutex;
+  let entries =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.entries []
+  in
+  Mutex.unlock registry.r_mutex;
+  List.map
+    (fun (name, m) ->
       let d =
         match m with
-        | Counter c -> Counter_v c.count
-        | Gauge g -> Gauge_v g.gauge_v
+        | Counter c -> Counter_v (Atomic.get c.count)
+        | Gauge g -> Gauge_v (Atomic.get g.gauge_v)
         | Histogram h ->
-          Histogram_v
-            {
-              bounds = Array.copy h.bounds;
-              counts = Array.copy h.counts;
-              sum = h.sum;
-              total = h.total;
-            }
+          Mutex.lock h.h_mutex;
+          let d =
+            Histogram_v
+              {
+                bounds = Array.copy h.bounds;
+                counts = Array.copy h.counts;
+                sum = h.sum;
+                total = h.total;
+              }
+          in
+          Mutex.unlock h.h_mutex;
+          d
       in
-      (name, d) :: acc)
-    registry.entries []
+      (name, d))
+    entries
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset ?(registry = default) () =
+  Mutex.lock registry.r_mutex;
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.gauge_v <- 0.
+      | Counter c -> Atomic.set c.count 0
+      | Gauge g -> Atomic.set g.gauge_v 0.
       | Histogram h ->
+        Mutex.lock h.h_mutex;
         Array.fill h.counts 0 (Array.length h.counts) 0;
         h.sum <- 0.;
-        h.total <- 0)
-    registry.entries
+        h.total <- 0;
+        Mutex.unlock h.h_mutex)
+    registry.entries;
+  Mutex.unlock registry.r_mutex
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)

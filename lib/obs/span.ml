@@ -16,10 +16,16 @@ let sink () = !current_sink
 
 type frame = { frame_id : int; mutable child_s : float }
 
-(* Stack of open spans; only touched when a sink is installed. *)
-let stack : frame list ref = ref []
+(* Stack of open spans; only touched when a sink is installed.  The
+   stack is domain-local so spans opened by pool workers nest correctly
+   within their own domain and never corrupt another domain's stack;
+   child time is attributed within one domain only (a parent span on the
+   main domain does not see time spent in worker spans — see
+   EXPERIMENTS.md on reading trace profiles of parallel runs). *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
 let allocated_words () =
   let s = Gc.quick_stat () in
@@ -29,8 +35,8 @@ let with_ name f =
   match !current_sink with
   | Null -> f ()
   | Emit emit ->
-    incr next_id;
-    let fr = { frame_id = !next_id; child_s = 0. } in
+    let stack = Domain.DLS.get stack_key in
+    let fr = { frame_id = Atomic.fetch_and_add next_id 1 + 1; child_s = 0. } in
     let depth = List.length !stack in
     stack := fr :: !stack;
     let a0 = allocated_words () in
@@ -72,7 +78,9 @@ type acc = {
   mutable acc_alloc : float;
 }
 
-type agg = (string, acc) Hashtbl.t
+(* Aggregators are fed from every domain that fires spans, so the fold
+   into the hash table is serialised by a per-aggregator mutex. *)
+type agg = { agg_tbl : (string, acc) Hashtbl.t; agg_mutex : Mutex.t }
 
 type agg_row = {
   row_name : string;
@@ -82,13 +90,14 @@ type agg_row = {
   alloc_mw : float;
 }
 
-let agg () : agg = Hashtbl.create 16
+let agg () : agg = { agg_tbl = Hashtbl.create 16; agg_mutex = Mutex.create () }
 
 let agg_sink (a : agg) =
   Emit
     (fun r ->
+      Mutex.lock a.agg_mutex;
       let acc =
-        match Hashtbl.find_opt a r.name with
+        match Hashtbl.find_opt a.agg_tbl r.name with
         | Some acc -> acc
         | None ->
           let acc =
@@ -100,30 +109,38 @@ let agg_sink (a : agg) =
               acc_alloc = 0.;
             }
           in
-          Hashtbl.replace a r.name acc;
+          Hashtbl.replace a.agg_tbl r.name acc;
           acc
       in
       acc.acc_count <- acc.acc_count + 1;
       acc.acc_total <- acc.acc_total +. r.wall_s;
       acc.acc_self <- acc.acc_self +. r.self_s;
-      acc.acc_alloc <- acc.acc_alloc +. r.alloc_words)
+      acc.acc_alloc <- acc.acc_alloc +. r.alloc_words;
+      Mutex.unlock a.agg_mutex)
 
 let agg_rows (a : agg) =
-  Hashtbl.fold
-    (fun _ acc rows ->
-      {
-        row_name = acc.acc_name;
-        count = acc.acc_count;
-        total_s = acc.acc_total;
-        agg_self_s = acc.acc_self;
-        alloc_mw = acc.acc_alloc /. 1e6;
-      }
-      :: rows)
-    a []
-  |> List.sort (fun x y -> Float.compare y.total_s x.total_s)
+  Mutex.lock a.agg_mutex;
+  let rows =
+    Hashtbl.fold
+      (fun _ acc rows ->
+        {
+          row_name = acc.acc_name;
+          count = acc.acc_count;
+          total_s = acc.acc_total;
+          agg_self_s = acc.acc_self;
+          alloc_mw = acc.acc_alloc /. 1e6;
+        }
+        :: rows)
+      a.agg_tbl []
+  in
+  Mutex.unlock a.agg_mutex;
+  List.sort (fun x y -> Float.compare y.total_s x.total_s) rows
 
 let agg_self_total (a : agg) =
-  Hashtbl.fold (fun _ acc t -> t +. acc.acc_self) a 0.
+  Mutex.lock a.agg_mutex;
+  let t = Hashtbl.fold (fun _ acc t -> t +. acc.acc_self) a.agg_tbl 0. in
+  Mutex.unlock a.agg_mutex;
+  t
 
 let agg_table ?wall_s (a : agg) =
   let columns =

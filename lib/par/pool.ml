@@ -1,0 +1,220 @@
+(* Worker domains block on a Condition over a shared queue; the
+   submitting domain executes queued tasks itself while its batch is
+   outstanding, so [jobs] counts the submitter.  Determinism comes from
+   (a) results being written to per-index slots and (b) failure
+   selection by smallest index — never from completion order. *)
+
+type batch = {
+  b_mutex : Mutex.t;
+  b_cond : Condition.t;
+  mutable remaining : int;
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  pool_jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set while a domain is executing a pool task: nested [map] calls then
+   run inline instead of waiting on workers that may all be busy. *)
+let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let run_task task =
+  let flag = Domain.DLS.get in_task in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) task
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.cond pool.mutex
+  done;
+  match Queue.take_opt pool.queue with
+  | None -> Mutex.unlock pool.mutex (* closed and drained *)
+  | Some task ->
+    Mutex.unlock pool.mutex;
+    run_task task;
+    worker_loop pool
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      pool_jobs = jobs;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.pool_jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.closed <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Record a failure, keeping the smallest task index so the propagated
+   exception does not depend on which domain lost the race. *)
+let record_failure batch i exn bt =
+  Mutex.lock batch.b_mutex;
+  (match batch.failed with
+  | Some (j, _, _) when j <= i -> ()
+  | Some _ | None -> batch.failed <- Some (i, exn, bt));
+  Mutex.unlock batch.b_mutex
+
+let finish_one batch =
+  Mutex.lock batch.b_mutex;
+  batch.remaining <- batch.remaining - 1;
+  if batch.remaining = 0 then Condition.broadcast batch.b_cond;
+  Mutex.unlock batch.b_mutex
+
+(* The submitter helps: drain the queue, then sleep until the last
+   outstanding task (running on a worker) signals the batch done. *)
+let rec help_until_done pool batch =
+  Mutex.lock pool.mutex;
+  match Queue.take_opt pool.queue with
+  | Some task ->
+    Mutex.unlock pool.mutex;
+    run_task task;
+    help_until_done pool batch
+  | None ->
+    Mutex.unlock pool.mutex;
+    Mutex.lock batch.b_mutex;
+    while batch.remaining > 0 do
+      Condition.wait batch.b_cond batch.b_mutex
+    done;
+    Mutex.unlock batch.b_mutex
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  if pool.pool_jobs = 1 || n < 2 || !(Domain.DLS.get in_task) then
+    Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let batch =
+      {
+        b_mutex = Mutex.create ();
+        b_cond = Condition.create ();
+        remaining = n;
+        failed = None;
+      }
+    in
+    let task i () =
+      (match f xs.(i) with
+      | v -> results.(i) <- Some v
+      | exception exn ->
+        record_failure batch i exn (Printexc.get_raw_backtrace ()));
+      finish_one batch
+    in
+    Mutex.lock pool.mutex;
+    if pool.closed then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (task i) pool.queue
+    done;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    help_until_done pool batch;
+    match batch.failed with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.map
+        (function Some v -> v | None -> assert false (* remaining = 0 *))
+        results
+  end
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs -> Array.to_list (map_array pool f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Process default pool                                                *)
+(* ------------------------------------------------------------------ *)
+
+let env_jobs () =
+  match Sys.getenv_opt "PDF_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      Printf.eprintf "[pdf] ignoring invalid PDF_JOBS %S (want an int >= 1)\n%!"
+        s;
+      1)
+
+let default_mutex = Mutex.create ()
+let configured_jobs = ref None
+let default_pool = ref None
+
+let default_jobs () =
+  Mutex.lock default_mutex;
+  let jobs =
+    match !configured_jobs with
+    | Some jobs -> jobs
+    | None ->
+      let jobs = env_jobs () in
+      configured_jobs := Some jobs;
+      jobs
+  in
+  Mutex.unlock default_mutex;
+  jobs
+
+let set_default_jobs jobs =
+  if jobs < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock default_mutex;
+  let stale =
+    match !default_pool with
+    | Some pool when pool.pool_jobs <> jobs ->
+      default_pool := None;
+      Some pool
+    | Some _ | None -> None
+  in
+  configured_jobs := Some jobs;
+  Mutex.unlock default_mutex;
+  Option.iter shutdown stale
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some pool -> pool
+    | None ->
+      let jobs =
+        match !configured_jobs with
+        | Some jobs -> jobs
+        | None ->
+          let jobs = env_jobs () in
+          configured_jobs := Some jobs;
+          jobs
+      in
+      let pool = create ~jobs in
+      default_pool := Some pool;
+      at_exit (fun () -> shutdown pool);
+      pool
+  in
+  Mutex.unlock default_mutex;
+  pool

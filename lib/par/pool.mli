@@ -1,0 +1,85 @@
+(** Deterministic domain pool for the ATPG pipeline.
+
+    A pool runs independent units of work on OCaml 5 domains (stdlib
+    [Domain] + [Mutex]/[Condition]; no dependencies beyond the standard
+    library) while keeping every observable result identical to a
+    sequential run:
+
+    - {b ordered results} — {!map} and {!map_array} return results in
+      input order, whatever order the workers finish in;
+    - {b deterministic failure} — when several tasks raise, the exception
+      of the {e smallest input index} is re-raised (with its backtrace)
+      after every task of the batch has completed, so the surfaced error
+      does not depend on scheduling;
+    - {b nested-use safety} — a task that calls back into [map] on any
+      pool runs that inner map inline (sequentially) on its own domain,
+      so nesting can neither deadlock nor oversubscribe the machine;
+    - {b no shared randomness} — the pool never touches RNG state; the
+      determinism contract (DESIGN.md, "Architecture & concurrency
+      model") requires each task to derive any randomness from the run
+      seed and the task's own identity only.
+
+    A pool with [jobs = 1] spawns no domains and runs everything inline:
+    the sequential paths of the pipeline are byte-for-byte unchanged when
+    parallelism is off (the default).  With [jobs = n > 1] the pool keeps
+    [n - 1] worker domains; the submitting domain executes queued tasks
+    itself while it waits, so a batch uses exactly [n] domains. *)
+
+type t
+(** A pool of worker domains with a shared task queue.  Values of this
+    type are safe to share across domains; submitting from several
+    domains concurrently is permitted (tasks interleave in the shared
+    queue) but the pipeline only ever submits from one domain at a
+    time. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] makes a pool that runs batches on [jobs] domains
+    ([jobs - 1] spawned workers plus the submitter).  [jobs = 1] spawns
+    nothing and makes {!map} run inline.  Raises [Invalid_argument] when
+    [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism degree the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], running the
+    applications on the pool's domains, and returns the results in input
+    order.  Inline (sequential, left to right) when the pool has one
+    job, when [xs] has fewer than two elements, or when called from
+    inside a pool task.  If one or more applications raise, every task
+    still runs to completion and the exception raised by the
+    smallest-index element is re-raised. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of {!map}; same ordering, inlining and
+    exception-propagation contract. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Outstanding tasks
+    are completed first; calling {!map} after [shutdown] raises
+    [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts the pool
+    down when [f] returns or raises. *)
+
+(** {2 The process default pool}
+
+    Library entry points that accept [?pool] fall back to a lazily
+    created process-wide pool, so the CLI flag [--jobs]/the [PDF_JOBS]
+    environment variable reach every layer without explicit plumbing. *)
+
+val default_jobs : unit -> int
+(** The parallelism the default pool will use (or uses): the value set
+    by {!set_default_jobs} if any, else [PDF_JOBS] when it parses as a
+    positive integer, else [1]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default parallelism (the CLI's [--jobs]).  If the
+    default pool already exists with a different degree it is shut down
+    and recreated on next use.  Raises [Invalid_argument] when the
+    argument is [< 1]. *)
+
+val default : unit -> t
+(** The process-wide pool, created on first use with {!default_jobs}
+    domains and shut down automatically at exit. *)

@@ -1,0 +1,172 @@
+(* Tests for Pdf_par: ordered results, exception propagation, nested
+   use, and the end-to-end determinism contract — a circuit run under
+   jobs=4 must equal the same run under jobs=1 (tests, fault counts and
+   the metrics snapshot alike). *)
+
+module Pool = Pdf_par.Pool
+module Metrics = Pdf_obs.Metrics
+module Ordering = Pdf_core.Ordering
+module Atpg = Pdf_core.Atpg
+module Fault_sim = Pdf_core.Fault_sim
+module Target_sets = Pdf_faults.Target_sets
+module Delay_model = Pdf_paths.Delay_model
+module Runner = Pdf_experiments.Runner
+module Workload = Pdf_experiments.Workload
+module Profiles = Pdf_synth.Profiles
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_ordering () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  check Alcotest.int "jobs" 4 (Pool.jobs pool);
+  let xs = List.init 100 Fun.id in
+  check
+    Alcotest.(list int)
+    "map preserves order" (List.map (fun x -> x * x) xs)
+    (Pool.map pool (fun x -> x * x) xs);
+  let a = Array.init 257 (fun i -> i - 128) in
+  check
+    Alcotest.(array int)
+    "map_array preserves order"
+    (Array.map (fun x -> (2 * x) + 1) a)
+    (Pool.map_array pool (fun x -> (2 * x) + 1) a);
+  check Alcotest.(list int) "empty input" [] (Pool.map pool (fun x -> x) []);
+  check Alcotest.(list int) "singleton" [ 7 ] (Pool.map pool (fun x -> x) [ 7 ])
+
+let test_sequential_pool () =
+  (* jobs = 1 never spawns a domain and runs in submission order. *)
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  let order = ref [] in
+  let r =
+    Pool.map pool
+      (fun i ->
+        order := i :: !order;
+        i)
+      [ 1; 2; 3 ]
+  in
+  check Alcotest.(list int) "results" [ 1; 2; 3 ] r;
+  check Alcotest.(list int) "ran in order" [ 3; 2; 1 ] !order
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  (* Two tasks fail; the recorded failure must be the smallest index
+     (deterministic whatever the worker schedule). *)
+  let attempt () =
+    Pool.map pool
+      (fun i -> if i = 3 || i = 7 then failwith (Printf.sprintf "boom %d" i) else i)
+      (List.init 10 Fun.id)
+  in
+  (match attempt () with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> check Alcotest.string "smallest index" "boom 3" msg);
+  (* The pool survives a failed batch and keeps working. *)
+  check
+    Alcotest.(list int)
+    "pool usable after failure" [ 0; 2; 4 ]
+    (Pool.map pool (fun i -> 2 * i) [ 0; 1; 2 ])
+
+let test_nested_use () =
+  (* A task that maps on its own pool must not deadlock: inner maps run
+     inline on the calling domain. *)
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let r =
+    Pool.map pool
+      (fun i -> List.fold_left ( + ) 0 (Pool.map pool (fun j -> i * j) [ 1; 2; 3 ]))
+      (List.init 8 Fun.id)
+  in
+  check Alcotest.(list int) "nested results"
+    (List.init 8 (fun i -> 6 * i))
+    r
+
+let test_default_pool_env () =
+  (* set_default_jobs reconfigures the process pool; default () reuses it. *)
+  Pool.set_default_jobs 2;
+  let p = Pool.default () in
+  check Alcotest.int "configured jobs" 2 (Pool.jobs p);
+  check Alcotest.bool "same pool" true (p == Pool.default ());
+  Pool.set_default_jobs 1;
+  check Alcotest.int "back to sequential" 1 (Pool.jobs (Pool.default ()))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel fault simulation and circuit runs              *)
+(* ------------------------------------------------------------------ *)
+
+let s27_profile =
+  match Profiles.find "s27" with Some p -> p | None -> assert false
+
+let tiny_scale = { Workload.label = "tiny"; n_p = 40; n_p0 = 10 }
+
+let test_faultsim_chunked () =
+  let c = Profiles.circuit s27_profile in
+  let ts = Target_sets.build c (Delay_model.lines c) ~n_p:40 ~n_p0:10 in
+  let faults = Fault_sim.prepare c ts.Target_sets.p in
+  let n0 = List.length ts.Target_sets.p0 in
+  let faults0 = Array.of_list (List.filteri (fun i _ -> i < n0)
+                                 (Array.to_list faults)) in
+  let res = Atpg.basic c { Atpg.ordering = Ordering.Value_based; seed = 3 }
+      ~faults:faults0 in
+  let seq =
+    Pool.with_pool ~jobs:1 (fun pool ->
+        Fault_sim.detected_by_tests ~pool c res.Atpg.tests faults)
+  in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Fault_sim.detected_by_tests ~pool c res.Atpg.tests faults)
+  in
+  check Alcotest.(array bool) "chunked = sequential" seq par
+
+(* Everything about a circuit run except wall-clock times. *)
+let fingerprint (r : Runner.circuit_run) =
+  let basic (b : Runner.basic_run) =
+    Printf.sprintf "%s:%d/%d/%d" (Ordering.name b.ordering) b.p0_detected
+      b.tests b.p_detected
+  in
+  Printf.sprintf "i0=%d cut=%d P=%d P0=%d basics=[%s] enrich=%d/%d/%d aborts=%d"
+    r.i0 r.cutoff_length r.p_total r.p0_total
+    (String.concat " " (List.map basic r.basics))
+    r.enrich_p0_detected r.enrich_p_detected r.enrich_tests r.enrich_aborts
+
+let test_runner_determinism () =
+  let run jobs =
+    Metrics.reset ();
+    let fp =
+      Pool.with_pool ~jobs (fun pool ->
+          fingerprint (Runner.run ~pool ~seed:3 tiny_scale s27_profile))
+    in
+    (fp, Metrics.snapshot ())
+  in
+  let fp1, snap1 = run 1 in
+  let fp4, snap4 = run 4 in
+  check Alcotest.string "circuit run identical" fp1 fp4;
+  check Alcotest.int "same metric set" (List.length snap1) (List.length snap4);
+  List.iter2
+    (fun (name1, v1) (name4, v4) ->
+      check Alcotest.string "metric name" name1 name4;
+      check Alcotest.bool (Printf.sprintf "metric %s equal" name1) true
+        (v1 = v4))
+    snap1 snap4
+
+let () =
+  Alcotest.run "pdf_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested use" `Quick test_nested_use;
+          Alcotest.test_case "default pool" `Quick test_default_pool_env;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "chunked fault simulation" `Quick
+            test_faultsim_chunked;
+          Alcotest.test_case "jobs=1 vs jobs=4 circuit run" `Quick
+            test_runner_determinism;
+        ] );
+    ]
