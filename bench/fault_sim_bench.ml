@@ -1,0 +1,160 @@
+(* Scalar-vs-packed fault-simulation microbench.
+
+   For each selected circuit profile, build a fault list and a random
+   test set, then time the detection-matrix workload (the dictionary /
+   static-compaction kernel) once with the packed engine disabled and
+   once with it enabled, on the same pool.  The two matrices are
+   compared cell for cell and any mismatch is a hard failure — the
+   benchmark doubles as the packed-vs-scalar equivalence smoke test in
+   CI.  Results are written as JSON (BENCH_fault_sim.json).
+
+   Usage:
+     fault_sim_bench [--circuits s641,b09] [--tests 252] [--faults 300]
+                     [--repeat 3] [--jobs 1] [--out BENCH_fault_sim.json]
+
+   Defaults cover every table and star profile with 252 tests (four word
+   batches) and report the best of 3 runs per engine. *)
+
+module Circuit = Pdf_circuit.Circuit
+module Pool = Pdf_par.Pool
+module Fault_sim = Pdf_core.Fault_sim
+module Test_pair = Pdf_core.Test_pair
+module Target_sets = Pdf_faults.Target_sets
+module Delay_model = Pdf_paths.Delay_model
+module Profiles = Pdf_synth.Profiles
+
+let circuits = ref ""
+let n_tests = ref 252
+let n_faults = ref 2000
+let repeat = ref 3
+let jobs = ref 1
+let out = ref "BENCH_fault_sim.json"
+
+let spec =
+  [
+    ("--circuits", Arg.Set_string circuits,
+     "NAMES comma-separated profile names (default: all table/star rows)");
+    ("--tests", Arg.Set_int n_tests,
+     "N number of random two-pattern tests (default 252)");
+    ("--faults", Arg.Set_int n_faults,
+     "N enumeration bound N_P per circuit (default 2000)");
+    ("--repeat", Arg.Set_int repeat,
+     "R timed runs per engine, best kept (default 3)");
+    ("--jobs", Arg.Set_int jobs, "J pool size (default 1)");
+    ("--out", Arg.Set_string out,
+     "PATH output JSON path (default BENCH_fault_sim.json)");
+  ]
+
+let usage = "fault_sim_bench [options]"
+
+let random_tests c ~n ~seed =
+  let rng = Pdf_util.Rng.create seed in
+  List.init n (fun _ ->
+      let pat () =
+        Array.init c.Circuit.num_pis (fun _ -> Pdf_util.Rng.bool rng)
+      in
+      Test_pair.create (pat ()) (pat ()))
+
+let time_best ~repeat f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+type row = {
+  name : string;
+  gates : int;
+  faults : int;
+  scalar_s : float;
+  packed_s : float;
+  speedup : float;
+}
+
+let bench_profile pool (profile : Profiles.t) =
+  let c = Profiles.circuit profile in
+  let ts =
+    Target_sets.build c (Delay_model.lines c) ~n_p:!n_faults
+      ~n_p0:(max 1 (!n_faults / 4))
+  in
+  let faults = Fault_sim.prepare c ts.Target_sets.p in
+  let tests = random_tests c ~n:!n_tests ~seed:(Hashtbl.hash profile.name) in
+  let engine packed () =
+    Fault_sim.set_packed packed;
+    Fault_sim.detect_matrix ~pool c tests faults
+  in
+  let scalar_s, scalar = time_best ~repeat:!repeat (engine false) in
+  let packed_s, packed = time_best ~repeat:!repeat (engine true) in
+  Fault_sim.set_packed true;
+  if scalar <> packed then begin
+    Printf.eprintf "FAIL: %s packed detection differs from scalar\n"
+      profile.name;
+    exit 1
+  end;
+  let row =
+    {
+      name = profile.name;
+      gates = Circuit.num_gates c;
+      faults = Array.length faults;
+      scalar_s;
+      packed_s;
+      speedup = scalar_s /. packed_s;
+    }
+  in
+  Printf.printf "%-10s %5d gates %4d faults  scalar %8.4fs  packed %8.4fs  %6.1fx\n%!"
+    row.name row.gates row.faults row.scalar_s row.packed_s row.speedup;
+  row
+
+let json_of_rows rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"fault_sim.detect_matrix\",\n";
+  Printf.bprintf b "  \"tests\": %d,\n" !n_tests;
+  Printf.bprintf b "  \"jobs\": %d,\n" !jobs;
+  Printf.bprintf b "  \"repeat\": %d,\n" !repeat;
+  Buffer.add_string b "  \"match\": true,\n";
+  Buffer.add_string b "  \"circuits\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"name\": %S, \"gates\": %d, \"faults\": %d, \
+         \"scalar_s\": %.6f, \"packed_s\": %.6f, \"speedup\": %.2f}%s\n"
+        r.name r.gates r.faults r.scalar_s r.packed_s r.speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  if !n_tests < 63 then begin
+    Printf.eprintf "--tests must be at least 63 (one full word batch)\n";
+    exit 2
+  end;
+  let profiles =
+    if !circuits = "" then Profiles.enrichment_rows
+    else
+      List.map
+        (fun name ->
+          match Profiles.find name with
+          | Some p -> p
+          | None ->
+            Printf.eprintf "unknown circuit profile %s\n" name;
+            exit 2)
+        (String.split_on_char ',' !circuits)
+  in
+  let rows =
+    Pool.with_pool ~jobs:!jobs (fun pool ->
+        List.map (bench_profile pool) profiles)
+  in
+  let oc = open_out !out in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" !out

@@ -1,0 +1,40 @@
+(** Packed requirement checking, in both lane directions.
+
+    {b Test lanes.}  {!satisfied_mask} checks one fault's condition set
+    [A(p)] against a {!Wsim.planes} simulation of up to 63 tests: bit
+    [l] of the result is set iff test [l] satisfies every requirement —
+    the packed equivalent of folding {!Pdf_values.Req.satisfied_by}
+    over the requirement list, with the same semantics for [X] (an [X]
+    simulated component never satisfies a pinned component).
+
+    {b Fault lanes.}  {!pack_faults}/{!fault_mask} transpose the trick:
+    up to 63 condition sets are packed into per-net pin masks so that
+    one scalar simulation result (a candidate test assignment) can be
+    evaluated against all of them in a single pass over the constrained
+    nets — this is what makes the ATPG secondary-target scan's
+    detection checks word-parallel. *)
+
+val satisfied_mask :
+  Wsim.planes -> (int * Pdf_values.Req.t) list -> int
+(** Lanes (tests) satisfying every requirement of the list.  Starts
+    from {!Wsim.mask}, so unused high lanes are always clear.  Early
+    exits once no lane survives. *)
+
+type fault_pack
+(** Up to 63 condition sets, packed per constrained net. *)
+
+val pack_faults :
+  (int * Pdf_values.Req.t) list array -> fault_pack array
+(** [pack_faults reqs] packs [reqs.(i)] into lane [i - 63*b] of batch
+    [b = i / 63] (fixed {!Wsim.batch_bounds} boundaries). *)
+
+val base : fault_pack -> int
+(** Index of the fault in lane 0. *)
+
+val lanes : fault_pack -> int
+
+val fault_mask : fault_pack -> Pdf_values.Triple.t array -> int
+(** Lanes (faults) whose whole condition set is satisfied by the given
+    scalar simulation values — bit [l] set iff fault [base + l] is
+    detected.  Agrees with [Fault_sim.detects_values] lane
+    for lane. *)

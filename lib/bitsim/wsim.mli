@@ -1,0 +1,57 @@
+(** Word-level (bit-parallel) two-pattern simulation.
+
+    One call to {!simulate} evaluates the circuit for up to 63
+    two-pattern tests at once: each net carries three dual-rail words
+    (see {!Pdf_values.Word}) — the first-pattern plane [v1], the
+    hazard/intermediate plane [v2] and the second-pattern plane [v3] —
+    and lane [l] of every word belongs to test [l].  The [v2] plane is
+    seeded at the primary inputs with the lane-wise
+    [Two_pattern.middle_of_pair] of the two patterns, exactly
+    like the scalar simulator, so lane [l] of the result equals
+    [Two_pattern.simulate] of test [l] component for
+    component.
+
+    Gates are evaluated once per plane in the circuit's levelized
+    (topological) order; each gate costs a handful of integer
+    instructions per plane regardless of how many lanes are occupied.
+
+    The scalar simulator remains the reference implementation: the
+    packed result is required (and property-tested) to agree with it
+    lane for lane, including [X] lanes. *)
+
+type planes = {
+  p_lanes : int;  (** occupied lanes *)
+  p_mask : int;  (** [Word.lane_mask p_lanes] *)
+  z : int array array;  (** zero rail, [3 x num_nets]: [z.(comp).(net)] *)
+  o : int array array;  (** one rail, [3 x num_nets] *)
+}
+(** Simulation result, struct-of-arrays so requirement scans touch flat
+    integer arrays.  Component indices: 0 = first pattern, 1 =
+    intermediate, 2 = second pattern. *)
+
+val simulate :
+  Pdf_circuit.Circuit.t ->
+  w1:Pdf_values.Word.t array ->
+  w3:Pdf_values.Word.t array ->
+  lanes:int ->
+  planes
+(** [simulate c ~w1 ~w3 ~lanes] — [w1.(pi)]/[w3.(pi)] pack the first and
+    second pattern of PI [pi] across tests.  Emits a ["bitsim"] span.
+    Raises [Invalid_argument] on a PI-count mismatch or [lanes] outside
+    [1..63]. *)
+
+val batch_bounds : int -> (int * int) array
+(** [batch_bounds n] cuts [0..n-1] into word batches [(lo, hi)] of at
+    most 63 lanes each, at fixed multiples of 63 — independent of any
+    parallelism, so batch-derived metrics are jobs-invariant. *)
+
+val lanes : planes -> int
+
+val mask : planes -> int
+
+val word : planes -> comp:int -> net:int -> Pdf_values.Word.t
+
+val get : planes -> comp:int -> net:int -> lane:int -> Pdf_values.Bit.t
+
+val triple : planes -> net:int -> lane:int -> Pdf_values.Triple.t
+(** One lane of one net re-assembled as a scalar value triple. *)

@@ -1,4 +1,6 @@
 module Req = Pdf_values.Req
+module Word = Pdf_values.Word
+module Wreq = Pdf_bitsim.Wreq
 module Circuit = Pdf_circuit.Circuit
 module Rng = Pdf_util.Rng
 module Metrics = Pdf_obs.Metrics
@@ -120,6 +122,10 @@ type test_state = {
   mutable implied : Pdf_values.Triple.t array;
       (** line values implied by [acc]; candidates contradicting them are
           provably un-addable and are rejected without a search *)
+  mutable det_masks : int array;
+      (** packed detection state of the current test against every target
+          (one word per 63 faults), refreshed whenever [values] changes;
+          [[||]] when the packed engine is disabled *)
 }
 
 let recompute_implied c acc =
@@ -170,6 +176,30 @@ let generate c config ~faults ~primaries ~secondary_pools =
   let folded_this_test = ref 0 in
   let rng = Rng.create config.seed in
   let n = Array.length faults in
+  (* Word-packed condition sets of every target: one pass of
+     [Wreq.fault_mask] over the current test's values answers "which of
+     these 63 faults does the candidate assignment detect" for a whole
+     word of faults, replacing the per-fault requirement-list walks in
+     both the free check and the end-of-test drop scan.  The scalar
+     [Fault_sim.detects_values] path is kept verbatim as the reference
+     (PDF_BITSIM=0) and agrees lane for lane. *)
+  let packs =
+    if Fault_sim.packed_enabled () then
+      Some (Wreq.pack_faults (Array.map (fun p -> p.Fault_sim.reqs) faults))
+    else None
+  in
+  let refresh_masks st =
+    match packs with
+    | None -> ()
+    | Some packs ->
+      st.det_masks <- Array.map (fun fp -> Wreq.fault_mask fp st.values) packs
+  in
+  let detects st i =
+    match packs with
+    | None -> Fault_sim.detects_values st.values faults.(i)
+    | Some _ ->
+      st.det_masks.(i / Word.lanes) land (1 lsl (i mod Word.lanes)) <> 0
+  in
   let detected = Array.make n false in
   let tried = Array.make n false in
   let rank = compute_ranks config faults in
@@ -192,7 +222,7 @@ let generate c config ~faults ~primaries ~secondary_pools =
       Metrics.incr m_rej_conflict;
       None
     | Some (updates, _) ->
-      if Fault_sim.detects_values st.values faults.(i) then begin
+      if detects st i then begin
         commit st.acc updates;
         st.implied <- recompute_implied c st.acc;
         Metrics.incr m_free;
@@ -209,6 +239,7 @@ let generate c config ~faults ~primaries ~secondary_pools =
         | Some test ->
           st.test <- test;
           st.values <- Test_pair.simulate c test;
+          refresh_masks st;
           commit st.acc updates;
           st.implied <- recompute_implied c st.acc;
           Metrics.incr m_folded;
@@ -317,8 +348,10 @@ let generate c config ~faults ~primaries ~secondary_pools =
             values = Test_pair.simulate c test;
             acc = Hashtbl.create 64;
             implied = [||];
+            det_masks = [||];
           }
         in
+        refresh_masks st;
         commit st.acc
           (match delta st.acc faults.(p0).Fault_sim.reqs with
           | Some (updates, _) -> updates
@@ -335,12 +368,13 @@ let generate c config ~faults ~primaries ~secondary_pools =
         Metrics.observe_int h_folded_per_test !folded_this_test;
         tests := st.test :: !tests;
         Metrics.incr m_tests;
-        (* Fault simulation: drop everything the final test detects. *)
+        (* Fault simulation: drop everything the final test detects.  The
+           packed masks were refreshed with the last accepted assignment,
+           so this scan is a word-mask read per fault. *)
         Span.with_ "fault-sim" (fun () ->
             Array.iteri
-              (fun i p ->
-                if (not detected.(i)) && Fault_sim.detects_values st.values p
-                then begin
+              (fun i _ ->
+                if (not detected.(i)) && detects st i then begin
                   detected.(i) <- true;
                   if i <> p0 then Metrics.incr m_accidental
                 end)

@@ -7,34 +7,42 @@ type verdict = {
   unexplained : int;
 }
 
-let dictionary c tests faults =
-  List.map (fun t -> Fault_sim.detected_by_test c t faults) tests
-  |> Array.of_list
+let dictionary c tests faults = Fault_sim.detect_matrix c tests faults
 
-(* The weak dictionary: non-robust sensitization of the same faults. *)
+(* The weak dictionary: non-robust sensitization of the same faults.
+   Faults with consistent non-robust conditions are re-packed as a
+   prepared array so the scan shares the (possibly word-parallel)
+   detection matrix; faults without them contribute all-false columns. *)
 let weak_dictionary c tests (faults : Fault_sim.prepared array) =
   let weak_reqs =
     Array.map
       (fun (p : Fault_sim.prepared) ->
-        Robust.conditions ~criterion:Robust.Non_robust c
+        Fault_sim.conditions ~criterion:Robust.Non_robust c
           p.Fault_sim.fault)
       faults
   in
-  List.map
-    (fun t ->
-      let values = Test_pair.simulate c t in
-      Array.map
-        (fun reqs ->
-          match reqs with
-          | None -> false
-          | Some reqs ->
-            List.for_all
-              (fun (net, req) ->
-                Pdf_values.Req.satisfied_by values.(net) req)
-              reqs)
-        weak_reqs)
-    tests
-  |> Array.of_list
+  let idx = ref [] in
+  Array.iteri
+    (fun i reqs -> if Option.is_some reqs then idx := i :: !idx)
+    weak_reqs;
+  let idx = Array.of_list (List.rev !idx) in
+  let weak_faults =
+    Array.mapi
+      (fun j i ->
+        {
+          faults.(i) with
+          Fault_sim.id = j;
+          reqs = Option.get weak_reqs.(i);
+        })
+      idx
+  in
+  let rows = Fault_sim.detect_matrix c tests weak_faults in
+  Array.map
+    (fun row ->
+      let full = Array.make (Array.length faults) false in
+      Array.iteri (fun j d -> full.(idx.(j)) <- d) row;
+      full)
+    rows
 
 let diagnose c tests faults ~observed =
   if List.length observed <> List.length tests then

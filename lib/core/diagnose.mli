@@ -33,6 +33,15 @@ val dictionary :
 (** [dictionary c tests faults] — [(List.length tests) x (faults)] robust
     detection matrix. *)
 
+val weak_dictionary :
+  Pdf_circuit.Circuit.t ->
+  Test_pair.t list ->
+  Fault_sim.prepared array ->
+  bool array array
+(** Same shape as {!dictionary}, under non-robust sensitization of the
+    same faults; a fault whose non-robust conditions conflict directly
+    yields an all-[false] column. *)
+
 val diagnose :
   Pdf_circuit.Circuit.t ->
   Test_pair.t list ->

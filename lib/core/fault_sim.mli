@@ -2,7 +2,16 @@
 
     A two-pattern test robustly detects a fault iff the simulated line
     values satisfy the fault's condition set [A(p)] — detection checking
-    is therefore a per-fault scan over one whole-circuit simulation. *)
+    is therefore a per-fault scan over one whole-circuit simulation.
+
+    Two engines implement that scan.  The scalar engine simulates one
+    test at a time ({!detected_by_test}); the packed engine
+    ([Pdf_bitsim]) simulates up to 63 tests per pass, one lane per test,
+    and is used automatically by the batch entry points whenever it is
+    enabled and at least one full word of tests is available.  The
+    scalar engine is the reference: packed results are byte-identical by
+    construction and property test, and metric totals do not depend on
+    which engine ran or how many jobs the pool has. *)
 
 (** A fault with its precomputed, merged condition set, ready for
     simulation.  [id] is the fault's index in the prepared array and is
@@ -13,6 +22,24 @@ type prepared = {
   length : int;  (** path length under the experiment's delay model *)
   reqs : (int * Pdf_values.Req.t) list;  (** merged [A(p)] *)
 }
+
+val set_packed : bool -> unit
+(** Override the packed-engine switch.  The initial value comes from the
+    [PDF_BITSIM] environment variable: set it to [0]/[false]/[no]/[off]
+    to force every batch entry point onto the scalar reference path. *)
+
+val packed_enabled : unit -> bool
+
+val conditions :
+  ?criterion:Pdf_faults.Robust.criterion ->
+  Pdf_circuit.Circuit.t ->
+  Pdf_faults.Fault.t ->
+  (int * Pdf_values.Req.t) list option
+(** Memoising front end to {!Pdf_faults.Robust.conditions}: results are
+    cached per circuit (by physical identity, a bounded number of
+    circuits) and per (criterion, fault).  Safe to call from pool
+    domains.  Used by {!prepare} and the diagnosis dictionaries, which
+    repeatedly ask for the same condition sets. *)
 
 val prepare :
   ?criterion:Pdf_faults.Robust.criterion ->
@@ -37,14 +64,29 @@ val detected_by_tests :
   Test_pair.t list ->
   prepared array ->
   bool array
-(** Union over a whole test set.  When [pool] (default:
-    {!Pdf_par.Pool.default}) has more than one job, the test list is cut
-    into one contiguous chunk per job, each chunk is simulated on its own
-    domain into a private detection array, and the arrays are merged by
-    OR — bit-identical to the sequential scan, since detection flags only
-    ever go from [false] to [true] and OR is commutative.  Metric totals
-    ([fault_sim.simulations], [fault_sim.detections]) also match the
-    sequential run exactly. *)
+(** Union over a whole test set.  When the packed engine is enabled and
+    the set holds at least one full word of tests, the list is cut into
+    word batches at fixed multiples of 63 (see [Wsim.batch_bounds]),
+    each batch is simulated bit-parallel on a pool domain, and the
+    per-batch flags are merged by OR.  Otherwise the scalar path runs:
+    sequential for one job, contiguous per-domain chunks for more.  All
+    three paths produce bit-identical flags, and the metric totals
+    ([fault_sim.simulations], [fault_sim.detections], and for the packed
+    path [fault_sim.word_batches]/[fault_sim.lanes_used]) are
+    jobs-invariant.  [pool] defaults to {!Pdf_par.Pool.default}. *)
+
+val detect_matrix :
+  ?pool:Pdf_par.Pool.t ->
+  Pdf_circuit.Circuit.t ->
+  Test_pair.t list ->
+  prepared array ->
+  bool array array
+(** Full test [x] fault detection matrix: row [t] is the detection flag
+    of every fault under test [t] (same row shape as
+    {!detected_by_test}).  Runs packed word batches when enabled and
+    worthwhile, scalar per-test rows otherwise; rows are byte-identical
+    either way.  This is the workhorse behind diagnosis dictionaries and
+    static compaction delta scans. *)
 
 val count : bool array -> int
 (** Number of [true] flags, i.e. detected faults. *)

@@ -1,7 +1,6 @@
 module Bit = Pdf_values.Bit
 module Req = Pdf_values.Req
 module Circuit = Pdf_circuit.Circuit
-module Gate = Pdf_circuit.Gate
 module Rng = Pdf_util.Rng
 module Two_pattern = Pdf_sim.Two_pattern
 module Metrics = Pdf_obs.Metrics
@@ -57,23 +56,7 @@ let mismatch req value =
   | (Bit.Zero | Bit.One), (Bit.Zero | Bit.One) -> not (Bit.equal req value)
   | (Bit.Zero | Bit.One | Bit.X), (Bit.Zero | Bit.One | Bit.X) -> false
 
-let eval_gate_get (g : Circuit.gate) get =
-  let fanins = g.Circuit.fanins in
-  match g.Circuit.kind with
-  | Gate.Not -> Bit.not_ (get fanins.(0))
-  | Gate.Buff -> get fanins.(0)
-  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
-    let op =
-      match g.Circuit.kind with
-      | Gate.And | Gate.Nand -> Bit.and_
-      | Gate.Or | Gate.Nor -> Bit.or_
-      | Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buff -> Bit.xor
-    in
-    let acc = ref (get fanins.(0)) in
-    for i = 1 to Array.length fanins - 1 do
-      acc := op !acc (get fanins.(i))
-    done;
-    if Gate.inverting g.Circuit.kind then Bit.not_ !acc else !acc
+let eval_gate_get = Pdf_sim.Logic_sim.eval_gate_get
 
 (* Fan-in cone of the requirement nets: only these gates can influence a
    requirement, and only these PIs are worth searching. *)

@@ -1,5 +1,5 @@
 let detection_rows c faults tests =
-  List.map (fun t -> Fault_sim.detected_by_test c t faults) tests
+  Array.to_list (Fault_sim.detect_matrix c tests faults)
 
 let reverse_order c faults tests =
   let rows = detection_rows c faults tests in

@@ -2,34 +2,35 @@ module Bit = Pdf_values.Bit
 module Circuit = Pdf_circuit.Circuit
 module Gate = Pdf_circuit.Gate
 
-let eval_gate (values : Bit.t array) (g : Circuit.gate) =
+(* Arity is validated at circuit construction (Gate.min_arity), so binary
+   kinds always carry at least two fanins; no defensive unary branch.  The
+   [get] indirection lets callers evaluate against plain value arrays,
+   overlays or any other per-net view without copying. *)
+let eval_gate_get (g : Circuit.gate) get =
   let fanins = g.fanins in
-  if Array.length fanins = 1 then
-    match g.kind with
-    | Gate.Not -> Bit.not_ values.(fanins.(0))
-    | Gate.Buff -> values.(fanins.(0))
-    | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
-      (* Arity is validated at construction; unary forms of binary kinds do
-         not occur.  Evaluate defensively anyway. *)
-      values.(fanins.(0))
-  else begin
-    let acc = ref values.(fanins.(0)) in
+  match g.kind with
+  | Gate.Not -> Bit.not_ (get fanins.(0))
+  | Gate.Buff -> get fanins.(0)
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    let acc = ref (get fanins.(0)) in
     (match g.kind with
     | Gate.And | Gate.Nand ->
       for i = 1 to Array.length fanins - 1 do
-        acc := Bit.and_ !acc values.(fanins.(i))
+        acc := Bit.and_ !acc (get fanins.(i))
       done
     | Gate.Or | Gate.Nor ->
       for i = 1 to Array.length fanins - 1 do
-        acc := Bit.or_ !acc values.(fanins.(i))
+        acc := Bit.or_ !acc (get fanins.(i))
       done
     | Gate.Xor | Gate.Xnor ->
       for i = 1 to Array.length fanins - 1 do
-        acc := Bit.xor !acc values.(fanins.(i))
+        acc := Bit.xor !acc (get fanins.(i))
       done
     | Gate.Not | Gate.Buff -> ());
     if Gate.inverting g.kind then Bit.not_ !acc else !acc
-  end
+
+let eval_gate (values : Bit.t array) (g : Circuit.gate) =
+  eval_gate_get g (fun net -> values.(net))
 
 let simulate (c : Circuit.t) pis =
   if Array.length pis <> c.num_pis then

@@ -1,5 +1,12 @@
 (** Single-pattern logic simulation over three-valued logic. *)
 
+val eval_gate_get :
+  Pdf_circuit.Circuit.gate -> (int -> Pdf_values.Bit.t) -> Pdf_values.Bit.t
+(** [eval_gate_get g get] evaluates gate [g] reading fanin values through
+    [get].  The indirection serves callers that evaluate against an
+    overlay or trial assignment rather than a plain value array; it is
+    the single scalar gate evaluator shared across the code base. *)
+
 val simulate :
   Pdf_circuit.Circuit.t -> Pdf_values.Bit.t array -> Pdf_values.Bit.t array
 (** [simulate c pis] evaluates the whole circuit in one levelised pass.

@@ -1,0 +1,76 @@
+type t = { zero : int; one : int }
+
+let lanes = 63
+
+let lane_mask n =
+  if n < 0 || n > lanes then invalid_arg "Word.lane_mask: lane count"
+  else if n = lanes then -1
+  else (1 lsl n) - 1
+
+let all_x = { zero = 0; one = 0 }
+
+let splat = function
+  | Bit.Zero -> { zero = -1; one = 0 }
+  | Bit.One -> { zero = 0; one = -1 }
+  | Bit.X -> all_x
+
+let valid t = t.zero land t.one = 0
+
+let get t lane =
+  let b = 1 lsl lane in
+  if t.one land b <> 0 then Bit.One
+  else if t.zero land b <> 0 then Bit.Zero
+  else Bit.X
+
+let set t lane v =
+  let b = 1 lsl lane in
+  match v with
+  | Bit.Zero -> { zero = t.zero lor b; one = t.one land lnot b }
+  | Bit.One -> { zero = t.zero land lnot b; one = t.one lor b }
+  | Bit.X -> { zero = t.zero land lnot b; one = t.one land lnot b }
+
+let init n f =
+  if n < 0 || n > lanes then invalid_arg "Word.init: lane count";
+  let zero = ref 0 and one = ref 0 in
+  for lane = 0 to n - 1 do
+    (match f lane with
+    | Bit.Zero -> zero := !zero lor (1 lsl lane)
+    | Bit.One -> one := !one lor (1 lsl lane)
+    | Bit.X -> ())
+  done;
+  { zero = !zero; one = !one }
+
+let of_bits a = init (Array.length a) (fun lane -> a.(lane))
+
+let to_bits n t = Array.init n (fun lane -> get t lane)
+
+let equal a b = a.zero = b.zero && a.one = b.one
+
+let not_ t = { zero = t.one; one = t.zero }
+
+let and_ a b = { zero = a.zero lor b.zero; one = a.one land b.one }
+
+let or_ a b = { zero = a.zero land b.zero; one = a.one lor b.one }
+
+let xor a b =
+  {
+    zero = (a.zero land b.zero) lor (a.one land b.one);
+    one = (a.zero land b.one) lor (a.one land b.zero);
+  }
+
+let middle a b = { zero = a.zero land b.zero; one = a.one land b.one }
+
+let popcount m =
+  let n = ref 0 and m = ref m in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr n
+  done;
+  !n
+
+let pp ppf t =
+  Format.pp_print_char ppf '[';
+  for lane = lanes - 1 downto 0 do
+    Format.pp_print_char ppf (Bit.char (get t lane))
+  done;
+  Format.pp_print_char ppf ']'

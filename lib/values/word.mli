@@ -1,0 +1,70 @@
+(** Dual-rail word-packed three-valued values: 63 independent lanes per
+    word, one per usable bit of a native OCaml [int].
+
+    Bit [k] of [zero] is set iff lane [k] holds a definite [0]; bit [k]
+    of [one] is set iff it holds a definite [1]; both clear means [X].
+    The representation invariant is [zero land one = 0] — every exported
+    operation preserves it.
+
+    One word therefore carries the same information as 63 {!Bit.t}
+    values, and the gate operations below apply the three-valued truth
+    tables of {!Bit} to all lanes in a constant number of integer
+    instructions — the classic PPSFP trick, here for the three-valued
+    two-pattern domain (see [Pdf_bitsim.Wsim]).
+
+    Lanes above the packed count hold whatever the constructors put
+    there (e.g. {!splat} fills all 63); consumers mask results with
+    {!lane_mask} rather than relying on unused lanes being [X]. *)
+
+type t = { zero : int; one : int }
+
+val lanes : int
+(** 63 — lanes per word. *)
+
+val lane_mask : int -> int
+(** [lane_mask n] has the low [n] lane bits set ([-1] when [n = 63]).
+    Raises [Invalid_argument] outside [0..63]. *)
+
+val all_x : t
+
+val splat : Bit.t -> t
+(** The same value in every lane. *)
+
+val valid : t -> bool
+(** The representation invariant: no lane is both [0] and [1]. *)
+
+val get : t -> int -> Bit.t
+
+val set : t -> int -> Bit.t -> t
+
+val init : int -> (int -> Bit.t) -> t
+(** [init n f] packs [f 0 .. f (n-1)] into lanes [0..n-1]; the remaining
+    lanes are [X].  Raises [Invalid_argument] when [n] is outside
+    [0..63]. *)
+
+val of_bits : Bit.t array -> t
+(** [init] over an array (length at most 63). *)
+
+val to_bits : int -> t -> Bit.t array
+(** First [n] lanes, unpacked. *)
+
+val equal : t -> t -> bool
+
+val not_ : t -> t
+
+val and_ : t -> t -> t
+
+val or_ : t -> t -> t
+
+val xor : t -> t -> t
+
+val middle : t -> t -> t
+(** Lane-wise [Two_pattern.middle_of_pair]: a definite value
+    where both operands agree on a definite value, [X] everywhere
+    else.  (Equal to [zero land zero' / one land one'].) *)
+
+val popcount : int -> int
+(** Set bits in a mask (detection counting). *)
+
+val pp : Format.formatter -> t -> unit
+(** All 63 lanes, highest first, e.g. [[xx...x01]]. *)

@@ -1,0 +1,325 @@
+(* Tests for Pdf_bitsim and the packed fault-simulation paths: the
+   scalar simulator is the reference, and every packed result — planes,
+   satisfaction masks, fault masks, detection flags, whole ATPG runs —
+   must agree with it bit for bit, for every jobs x engine combination. *)
+
+module Bit = Pdf_values.Bit
+module Triple = Pdf_values.Triple
+module Req = Pdf_values.Req
+module Word = Pdf_values.Word
+module Circuit = Pdf_circuit.Circuit
+module Two_pattern = Pdf_sim.Two_pattern
+module Wsim = Pdf_bitsim.Wsim
+module Wreq = Pdf_bitsim.Wreq
+module Pool = Pdf_par.Pool
+module Ordering = Pdf_core.Ordering
+module Atpg = Pdf_core.Atpg
+module Fault_sim = Pdf_core.Fault_sim
+module Test_pair = Pdf_core.Test_pair
+module Diagnose = Pdf_core.Diagnose
+module Target_sets = Pdf_faults.Target_sets
+module Delay_model = Pdf_paths.Delay_model
+module Generators = Pdf_synth.Generators
+module Profiles = Pdf_synth.Profiles
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let s27 =
+  match Profiles.find "s27" with
+  | Some p -> Profiles.circuit p
+  | None -> assert false
+
+(* Every test here must leave the packed engine in its default state. *)
+let with_packed b f =
+  let before = Fault_sim.packed_enabled () in
+  Fault_sim.set_packed b;
+  Fun.protect ~finally:(fun () -> Fault_sim.set_packed before) f
+
+let dag_params =
+  { Generators.num_pis = 6; num_gates = 25; window = 15; max_fanout = 3;
+    reuse_pct = 5; restart_pct = 0; fanin3_pct = 10; inverter_pct = 25;
+    po_taps = 1 }
+
+(* A randomized circuit plus per-lane PI pairs, possibly with X bits. *)
+let gen_case =
+  QCheck.Gen.(
+    int_range 0 100_000 >>= fun seed ->
+    int_range 1 Word.lanes >>= fun lanes ->
+    let c = Generators.random_dag ~name:"rand" ~seed dag_params in
+    let np = c.Circuit.num_pis in
+    let bits = oneofl [ Bit.Zero; Bit.One; Bit.X ] in
+    pair
+      (array_size (return lanes) (array_size (return np) bits))
+      (array_size (return lanes) (array_size (return np) bits))
+    >>= fun (b1, b3) -> return (seed, lanes, b1, b3))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, lanes, _, _) ->
+      Printf.sprintf "seed=%d lanes=%d" seed lanes)
+    gen_case
+
+let circuit_of_seed seed =
+  Generators.random_dag ~name:"rand" ~seed dag_params
+
+let pack_planes c lanes b1 b3 =
+  let np = c.Circuit.num_pis in
+  let w1 = Array.init np (fun pi -> Word.init lanes (fun l -> b1.(l).(pi))) in
+  let w3 = Array.init np (fun pi -> Word.init lanes (fun l -> b3.(l).(pi))) in
+  Wsim.simulate c ~w1 ~w3 ~lanes
+
+let scalar_lane c b1 b3 =
+  Two_pattern.simulate c
+    (Array.init (Array.length b1) (fun pi ->
+         { Two_pattern.b1 = b1.(pi); b3 = b3.(pi) }))
+
+(* Packed simulation equals the scalar simulator on every lane, every
+   net, every component — including X lanes. *)
+let prop_wsim_matches_scalar =
+  QCheck.Test.make ~name:"Wsim.simulate = Two_pattern.simulate per lane"
+    ~count:60 arb_case
+    (fun (seed, lanes, b1, b3) ->
+      let c = circuit_of_seed seed in
+      let planes = pack_planes c lanes b1 b3 in
+      let ok = ref true in
+      for l = 0 to lanes - 1 do
+        let scalar = scalar_lane c b1.(l) b3.(l) in
+        for net = 0 to Circuit.num_nets c - 1 do
+          if not (Triple.equal scalar.(net) (Wsim.triple planes ~net ~lane:l))
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* Packed requirement checking equals the scalar satisfied_by fold per
+   lane, on the real condition sets of the circuit's faults. *)
+let prop_satisfied_mask_matches_scalar =
+  QCheck.Test.make
+    ~name:"Wreq.satisfied_mask = Req.satisfied_by per lane" ~count:40
+    arb_case
+    (fun (seed, lanes, b1, b3) ->
+      let c = circuit_of_seed seed in
+      let ts = Target_sets.build c (Delay_model.lines c) ~n_p:15 ~n_p0:5 in
+      let faults = Fault_sim.prepare c ts.Target_sets.p in
+      let planes = pack_planes c lanes b1 b3 in
+      let scalars = Array.init lanes (fun l -> scalar_lane c b1.(l) b3.(l)) in
+      Array.for_all
+        (fun (p : Fault_sim.prepared) ->
+          let m = Wreq.satisfied_mask planes p.Fault_sim.reqs in
+          let ok = ref true in
+          for l = 0 to lanes - 1 do
+            let scalar =
+              List.for_all
+                (fun (net, req) -> Req.satisfied_by scalars.(l).(net) req)
+                p.Fault_sim.reqs
+            in
+            if scalar <> (m land (1 lsl l) <> 0) then ok := false
+          done;
+          !ok)
+        faults)
+
+(* Fault-lane packing: one scalar simulation checked against 63 packed
+   condition sets equals per-fault detects_values. *)
+let prop_fault_mask_matches_scalar =
+  QCheck.Test.make ~name:"Wreq.fault_mask = detects_values per lane"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (seed, _) -> Printf.sprintf "seed=%d" seed)
+       QCheck.Gen.(
+         int_range 0 100_000 >>= fun seed ->
+         let c = circuit_of_seed seed in
+         let np = c.Circuit.num_pis in
+         pair (return seed) (pair (array_size (return np) bool)
+                               (array_size (return np) bool))))
+    (fun (seed, (v1, v3)) ->
+      let c = circuit_of_seed seed in
+      let ts = Target_sets.build c (Delay_model.lines c) ~n_p:15 ~n_p0:5 in
+      let faults = Fault_sim.prepare c ts.Target_sets.p in
+      let packs =
+        Wreq.pack_faults
+          (Array.map (fun p -> p.Fault_sim.reqs) faults)
+      in
+      let values = Test_pair.simulate c (Test_pair.create v1 v3) in
+      Array.for_all
+        (fun fp ->
+          let m = Wreq.fault_mask fp values in
+          let ok = ref true in
+          for l = 0 to Wreq.lanes fp - 1 do
+            let i = Wreq.base fp + l in
+            if
+              Fault_sim.detects_values values faults.(i)
+              <> (m land (1 lsl l) <> 0)
+            then ok := false
+          done;
+          !ok)
+        packs)
+
+(* ------------------------------------------------------------------ *)
+(* Batch entry points: jobs x engine grid                              *)
+(* ------------------------------------------------------------------ *)
+
+let random_tests c ~n ~seed =
+  let rng = Pdf_util.Rng.create seed in
+  List.init n (fun _ ->
+      let pat () =
+        Array.init c.Circuit.num_pis (fun _ -> Pdf_util.Rng.bool rng)
+      in
+      Test_pair.create (pat ()) (pat ()))
+
+let s27_workload () =
+  let ts = Target_sets.build s27 (Delay_model.lines s27) ~n_p:40 ~n_p0:10 in
+  let faults = Fault_sim.prepare s27 ts.Target_sets.p in
+  (* Enough tests for two word batches, the second partially filled. *)
+  let tests = random_tests s27 ~n:100 ~seed:42 in
+  (faults, tests)
+
+let test_detected_by_tests_grid () =
+  let faults, tests = s27_workload () in
+  let run ~packed ~jobs =
+    with_packed packed @@ fun () ->
+    Pool.with_pool ~jobs (fun pool ->
+        Fault_sim.detected_by_tests ~pool s27 tests faults)
+  in
+  let reference = run ~packed:false ~jobs:1 in
+  List.iter
+    (fun (packed, jobs) ->
+      check
+        Alcotest.(array bool)
+        (Printf.sprintf "packed=%b jobs=%d" packed jobs)
+        reference
+        (run ~packed ~jobs))
+    [ (false, 4); (true, 1); (true, 4) ]
+
+let test_detect_matrix_grid () =
+  let faults, tests = s27_workload () in
+  let run ~packed ~jobs =
+    with_packed packed @@ fun () ->
+    Pool.with_pool ~jobs (fun pool ->
+        Fault_sim.detect_matrix ~pool s27 tests faults)
+  in
+  let reference = run ~packed:false ~jobs:1 in
+  check Alcotest.int "one row per test" (List.length tests)
+    (Array.length reference);
+  List.iter
+    (fun (packed, jobs) ->
+      let m = run ~packed ~jobs in
+      Array.iteri
+        (fun t row ->
+          check
+            Alcotest.(array bool)
+            (Printf.sprintf "row %d packed=%b jobs=%d" t packed jobs)
+            reference.(t) row)
+        m)
+    [ (false, 4); (true, 1); (true, 4) ]
+
+(* Rows of detect_matrix are exactly detected_by_test rows. *)
+let test_detect_matrix_vs_single () =
+  let faults, tests = s27_workload () in
+  let m = Fault_sim.detect_matrix s27 tests faults in
+  List.iteri
+    (fun t test ->
+      check
+        Alcotest.(array bool)
+        (Printf.sprintf "row %d" t)
+        (Fault_sim.detected_by_test s27 test faults)
+        m.(t))
+    tests
+
+(* The packed ATPG delta scan changes nothing observable: same tests,
+   same detection flags, same abort count as the scalar reference. *)
+let test_atpg_packed_vs_scalar () =
+  let ts = Target_sets.build s27 (Delay_model.lines s27) ~n_p:40 ~n_p0:10 in
+  let faults = Fault_sim.prepare s27 ts.Target_sets.p in
+  let run packed =
+    with_packed packed @@ fun () ->
+    Atpg.basic s27
+      { Atpg.ordering = Ordering.Value_based; seed = 3 }
+      ~faults
+  in
+  let scalar = run false and packed = run true in
+  check Alcotest.int "test count" (List.length scalar.Atpg.tests)
+    (List.length packed.Atpg.tests);
+  List.iter2
+    (fun a b ->
+      check Alcotest.string "test" (Test_pair.to_string a)
+        (Test_pair.to_string b))
+    scalar.Atpg.tests packed.Atpg.tests;
+  check
+    Alcotest.(array bool)
+    "detected" scalar.Atpg.detected packed.Atpg.detected;
+  check Alcotest.int "aborts" scalar.Atpg.primary_aborts
+    packed.Atpg.primary_aborts
+
+(* Diagnosis dictionaries ride on detect_matrix; both engines agree. *)
+let test_dictionaries_packed_vs_scalar () =
+  let faults, tests = s27_workload () in
+  let run packed =
+    with_packed packed @@ fun () ->
+    ( Diagnose.dictionary s27 tests faults,
+      Diagnose.weak_dictionary s27 tests faults )
+  in
+  let strong_s, weak_s = run false in
+  let strong_p, weak_p = run true in
+  Array.iteri
+    (fun t row -> check Alcotest.(array bool) "strong row" row strong_p.(t))
+    strong_s;
+  Array.iteri
+    (fun t row -> check Alcotest.(array bool) "weak row" row weak_p.(t))
+    weak_s
+
+(* The conditions cache returns exactly what Robust.conditions computes,
+   from any domain. *)
+let test_conditions_cache () =
+  let ts = Target_sets.build s27 (Delay_model.lines s27) ~n_p:40 ~n_p0:10 in
+  let entries = ts.Target_sets.p in
+  let direct =
+    List.map
+      (fun (e : Target_sets.entry) ->
+        Pdf_faults.Robust.conditions s27 e.Target_sets.fault)
+      entries
+  in
+  let check_all () =
+    List.iter2
+      (fun (e : Target_sets.entry) expect ->
+        check Alcotest.bool "cached = direct" true
+          (Fault_sim.conditions s27 e.Target_sets.fault = expect))
+      entries direct
+  in
+  check_all ();
+  (* Second pass hits the cache; also exercise it from pool domains. *)
+  check_all ();
+  Pool.with_pool ~jobs:4 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun (e : Target_sets.entry) ->
+             Fault_sim.conditions s27 e.Target_sets.fault)
+           entries))
+
+let () =
+  Alcotest.run "pdf_bitsim"
+    [
+      ( "planes",
+        [
+          qcheck prop_wsim_matches_scalar;
+          qcheck prop_satisfied_mask_matches_scalar;
+          qcheck prop_fault_mask_matches_scalar;
+        ] );
+      ( "fault_sim",
+        [
+          Alcotest.test_case "detected_by_tests jobs x engine" `Quick
+            test_detected_by_tests_grid;
+          Alcotest.test_case "detect_matrix jobs x engine" `Quick
+            test_detect_matrix_grid;
+          Alcotest.test_case "detect_matrix = per-test rows" `Quick
+            test_detect_matrix_vs_single;
+          Alcotest.test_case "conditions cache" `Quick test_conditions_cache;
+        ] );
+      ( "atpg",
+        [
+          Alcotest.test_case "packed = scalar run" `Quick
+            test_atpg_packed_vs_scalar;
+          Alcotest.test_case "dictionaries packed = scalar" `Quick
+            test_dictionaries_packed_vs_scalar;
+        ] );
+    ]

@@ -235,6 +235,102 @@ let prop_req_merge_strengthens =
         (* satisfied(m) <=> satisfied(a) && satisfied(b) *)
         Req.satisfied_by t m = (Req.satisfied_by t a && Req.satisfied_by t b))
 
+(* ------------------------------------------------------------------ *)
+(* Word                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Word = Pdf_values.Word
+
+let word_t = Alcotest.testable Word.pp Word.equal
+
+let test_word_lane_mask () =
+  check Alcotest.int "0" 0 (Word.lane_mask 0);
+  check Alcotest.int "1" 1 (Word.lane_mask 1);
+  check Alcotest.int "5" 31 (Word.lane_mask 5);
+  check Alcotest.int "63" (-1) (Word.lane_mask 63);
+  Alcotest.check_raises "64" (Invalid_argument "Word.lane_mask: lane count")
+    (fun () -> ignore (Word.lane_mask 64))
+
+let test_word_get_set_roundtrip () =
+  List.iter
+    (fun v ->
+      for lane = 0 to Word.lanes - 1 do
+        let w = Word.set Word.all_x lane v in
+        check bit "set/get" v (Word.get w lane);
+        check Alcotest.bool "valid" true (Word.valid w)
+      done)
+    all_bits
+
+let test_word_splat () =
+  List.iter
+    (fun v ->
+      let w = Word.splat v in
+      check Alcotest.bool "valid" true (Word.valid w);
+      for lane = 0 to Word.lanes - 1 do
+        check bit "splat lane" v (Word.get w lane)
+      done)
+    all_bits
+
+let test_word_of_to_bits () =
+  let a = [| Bit.Zero; Bit.One; Bit.X; Bit.One; Bit.Zero |] in
+  let w = Word.of_bits a in
+  check Alcotest.(array (testable Bit.pp Bit.equal)) "roundtrip" a
+    (Word.to_bits 5 w);
+  check word_t "repack" w (Word.of_bits (Word.to_bits 5 w));
+  check bit "beyond packed count is X" Bit.X (Word.get w 5)
+
+let test_word_popcount () =
+  check Alcotest.int "empty" 0 (Word.popcount 0);
+  check Alcotest.int "one" 1 (Word.popcount 16);
+  check Alcotest.int "full" 63 (Word.popcount (Word.lane_mask 63))
+
+(* Every word gate operation equals the Bit truth table on each lane. *)
+let arb_word_pair =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (array_size (return Word.lanes) bit_gen)
+        (array_size (return Word.lanes) bit_gen))
+  in
+  QCheck.make gen
+
+let lanewise_op name wop bop =
+  QCheck.Test.make ~name ~count:200 arb_word_pair (fun (a, b) ->
+      let w = wop (Word.of_bits a) (Word.of_bits b) in
+      Word.valid w
+      && Array.for_all
+           (fun lane -> Bit.equal (bop a.(lane) b.(lane)) (Word.get w lane))
+           (Array.init Word.lanes Fun.id))
+
+let prop_word_and = lanewise_op "word and = bit and per lane" Word.and_ Bit.and_
+let prop_word_or = lanewise_op "word or = bit or per lane" Word.or_ Bit.or_
+let prop_word_xor = lanewise_op "word xor = bit xor per lane" Word.xor Bit.xor
+
+let prop_word_middle =
+  lanewise_op "word middle = middle_of_pair per lane" Word.middle
+    (fun a b ->
+      match (a, b) with
+      | Bit.Zero, Bit.Zero -> Bit.Zero
+      | Bit.One, Bit.One -> Bit.One
+      | _ -> Bit.X)
+
+let prop_word_not =
+  QCheck.Test.make ~name:"word not = bit not per lane" ~count:200
+    (QCheck.make QCheck.Gen.(array_size (return Word.lanes) bit_gen))
+    (fun a ->
+      let w = Word.not_ (Word.of_bits a) in
+      Word.valid w
+      && Array.for_all
+           (fun lane -> Bit.equal (Bit.not_ a.(lane)) (Word.get w lane))
+           (Array.init Word.lanes Fun.id))
+
+let prop_word_not_involutive =
+  QCheck.Test.make ~name:"word not involutive" ~count:200
+    (QCheck.make QCheck.Gen.(array_size (return Word.lanes) bit_gen))
+    (fun a ->
+      let w = Word.of_bits a in
+      Word.equal w (Word.not_ (Word.not_ w)))
+
 let () =
   Alcotest.run "pdf_values"
     [
@@ -269,5 +365,20 @@ let () =
           qcheck prop_req_merge_idempotent;
           qcheck prop_req_merge_any_identity;
           qcheck prop_req_merge_strengthens;
+        ] );
+      ( "word",
+        [
+          Alcotest.test_case "lane_mask" `Quick test_word_lane_mask;
+          Alcotest.test_case "get/set roundtrip" `Quick
+            test_word_get_set_roundtrip;
+          Alcotest.test_case "splat" `Quick test_word_splat;
+          Alcotest.test_case "of_bits/to_bits" `Quick test_word_of_to_bits;
+          Alcotest.test_case "popcount" `Quick test_word_popcount;
+          qcheck prop_word_and;
+          qcheck prop_word_or;
+          qcheck prop_word_xor;
+          qcheck prop_word_middle;
+          qcheck prop_word_not;
+          qcheck prop_word_not_involutive;
         ] );
     ]
