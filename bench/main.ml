@@ -67,13 +67,15 @@ let () =
 
 (* One full experiment run per circuit feeds Tables 3-7.  The runs are
    independent, so they fan out across the pool; progress goes to stderr
-   (it may interleave) while stdout stays byte-identical to PDF_JOBS=1
-   because Pool.map returns results in Profiles.table_rows order. *)
+   through the log's serialised writer (line order may vary, lines never
+   interleave) while stdout stays byte-identical to PDF_JOBS=1 because
+   Pool.map returns results in Profiles.table_rows order. *)
 let table_runs =
   Span.with_ "tables3-7.runs" (fun () ->
       Pdf_par.Pool.map pool
         (fun profile ->
-          Printf.eprintf "running %s...\n%!" profile.Profiles.name;
+          Pdf_obs.Log.raw_line
+            (Printf.sprintf "running %s..." profile.Profiles.name);
           Runner.run ~pool ~seed scale profile)
         Profiles.table_rows)
 
@@ -81,7 +83,8 @@ let star_runs =
   Span.with_ "table6.star_runs" (fun () ->
       Pdf_par.Pool.map pool
         (fun profile ->
-          Printf.eprintf "running %s...\n%!" profile.Profiles.name;
+          Pdf_obs.Log.raw_line
+            (Printf.sprintf "running %s..." profile.Profiles.name);
           Runner.run ~pool ~seed ~with_basics:false scale profile)
         Profiles.star_rows)
 

@@ -1,0 +1,143 @@
+(* Observability overhead guard (DESIGN.md §9.4).
+
+   The tracing layer's contract is that an uninstrumented run pays only
+   the Null-sink check per span site.  Timing two full ATPG runs against
+   each other is too noisy to gate CI on a small percentage, so the
+   guard uses an overhead model instead:
+
+     overhead% = spans_fired x per_span_null_cost / wall_null x 100
+
+   where per_span_null_cost is measured by a tight microbenchmark of
+   Span.with_ under the Null sink (millions of iterations, so the figure
+   is stable), spans_fired is counted by an Emit sink during one
+   instrumented run, and wall_null is the wall-clock of the run with the
+   Null sink.  The tracing-on wall time is also recorded (informational:
+   it includes collector allocation, which only traced runs pay).
+
+   Exits non-zero when the modelled Null-sink overhead exceeds
+   --max-overhead percent (default 2%). *)
+
+module Span = Pdf_obs.Span
+module Profiles = Pdf_synth.Profiles
+module Target_sets = Pdf_faults.Target_sets
+module Fault_sim = Pdf_core.Fault_sim
+module Atpg = Pdf_core.Atpg
+
+let usage = "obs_overhead_bench [--circuit NAME] [--n-p N] [--n-p0 N] \
+             [--repeat N] [--out FILE] [--max-overhead PCT]"
+
+let circuit_name = ref "b09"
+let n_p = ref 400
+let n_p0 = ref 80
+let repeat = ref 3
+let out_path = ref "BENCH_obs_overhead.json"
+let max_overhead = ref 2.0
+let seed = ref 2002
+
+let () =
+  Arg.parse
+    [
+      ("--circuit", Arg.Set_string circuit_name, "Profile to run (default b09)");
+      ("--n-p", Arg.Set_int n_p, "Fault budget N_P (default 400)");
+      ("--n-p0", Arg.Set_int n_p0, "Threshold N_P0 (default 80)");
+      ("--repeat", Arg.Set_int repeat, "Timed repetitions, best-of (default 3)");
+      ("--seed", Arg.Set_int seed, "ATPG seed (default 2002)");
+      ("--out", Arg.Set_string out_path, "JSON result file");
+      ( "--max-overhead",
+        Arg.Set_float max_overhead,
+        "Fail above this Null-sink overhead percentage (default 2.0)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage
+
+let () =
+  let profile =
+    match Profiles.find !circuit_name with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown profile %s\n" !circuit_name;
+      exit 2
+  in
+  let c = Profiles.circuit profile in
+  let model = Pdf_paths.Delay_model.lines c in
+  let ts = Target_sets.build c model ~n_p:!n_p ~n_p0:!n_p0 in
+  let faults = Fault_sim.prepare c ts.Target_sets.p in
+  let n0 = List.length ts.Target_sets.p0 in
+  let p0 = List.init n0 Fun.id in
+  let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+  let workload () =
+    ignore (Atpg.enrich c ~seed:!seed ~faults ~p0 ~p1 : Atpg.result)
+  in
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  (* 1. Wall time with the Null sink (the uninstrumented configuration). *)
+  Span.set_sink Span.Null;
+  let wall_null = best_of !repeat workload in
+  (* 2. Span count of one instrumented run. *)
+  let spans = ref 0 in
+  Span.set_sink (Span.Emit (fun _ -> incr spans));
+  workload ();
+  let spans = !spans in
+  (* 3. Wall time with a real trace collector attached (informational). *)
+  let wall_trace =
+    best_of !repeat (fun () ->
+        let coll = Pdf_obs.Trace.collector () in
+        Span.set_sink (Pdf_obs.Trace.sink coll);
+        workload ())
+  in
+  Span.set_sink Span.Null;
+  (* 4. Per-span cost of a Null-sink span site: time a tight loop of
+     wrapped calls against the same loop unwrapped.  [sink ()] keeps the
+     payload from being optimised away. *)
+  let iters = 2_000_000 in
+  let tick = ref 0 in
+  let payload () = if Span.sink () = Span.Null then incr tick in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    payload ()
+  done;
+  let plain = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Span.with_ "overhead-probe" payload
+  done;
+  let wrapped = Unix.gettimeofday () -. t0 in
+  let per_span = Float.max 0. ((wrapped -. plain) /. float_of_int iters) in
+  let modelled_pct =
+    if wall_null > 0. then
+      100. *. float_of_int spans *. per_span /. wall_null
+    else 0.
+  in
+  let measured_pct =
+    if wall_null > 0. then 100. *. (wall_trace -. wall_null) /. wall_null
+    else 0.
+  in
+  let json =
+    Printf.sprintf
+      "{\"circuit\":%S,\"n_p\":%d,\"n_p0\":%d,\"repeat\":%d,\n\
+      \ \"wall_null_s\":%.6f,\"wall_trace_s\":%.6f,\"spans\":%d,\n\
+      \ \"per_span_null_cost_s\":%.3e,\"null_overhead_model_pct\":%.4f,\n\
+      \ \"trace_on_overhead_pct\":%.2f,\"max_overhead_pct\":%.2f}\n"
+      !circuit_name !n_p !n_p0 !repeat wall_null wall_trace spans per_span
+      modelled_pct measured_pct !max_overhead
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if modelled_pct > !max_overhead then begin
+    Printf.eprintf
+      "FAIL: modelled Null-sink overhead %.4f%% exceeds the %.2f%% budget\n"
+      modelled_pct !max_overhead;
+    exit 1
+  end
+  else
+    Printf.printf "OK: modelled Null-sink overhead %.4f%% <= %.2f%% budget\n"
+      modelled_pct !max_overhead

@@ -69,15 +69,40 @@ let with_circuit name f =
 (* Observability and execution options shared by every subcommand:
    --verbose lowers the event-log threshold (also settable via PDF_LOG),
    --metrics-out dumps the metrics registry when the command finishes
-   (CSV, or JSON lines when the file name ends in .jsonl), --jobs sets
-   the degree of parallelism of the process default pool (also settable
-   via PDF_JOBS; 1 = fully sequential, the default). *)
+   (CSV, or JSON lines when the file name ends in .jsonl), --trace-out
+   collects every span into a Chrome trace-event file (also settable via
+   PDF_TRACE_OUT; load in Perfetto or chrome://tracing, one track per
+   pool domain), --prom-out writes the registry in Prometheus text
+   exposition format (also settable via PDF_PROM_OUT; --prom-flush
+   rewrites it periodically for watching long runs), --jobs sets the
+   degree of parallelism of the process default pool (also settable via
+   PDF_JOBS; 1 = fully sequential, the default). *)
 let obs_setup =
   let metrics_out =
     Arg.(value & opt (some string) None
          & info [ "metrics-out" ] ~docv:"FILE"
              ~doc:"Write all pipeline metrics to $(docv) on exit (CSV; \
                    JSON lines when $(docv) ends in .jsonl).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON file of every span to \
+                   $(docv) on exit (Perfetto-loadable; one track per \
+                   pool domain).  Defaults to $(b,PDF_TRACE_OUT).")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"Write the metrics registry in Prometheus text \
+                   exposition format to $(docv) on exit.  Defaults to \
+                   $(b,PDF_PROM_OUT).")
+  in
+  let prom_flush =
+    Arg.(value & opt (some float) None
+         & info [ "prom-flush" ] ~docv:"SECONDS"
+             ~doc:"Rewrite the --prom-out file every $(docv) seconds \
+                   while the command runs (for scraping long runs).")
   in
   let verbose =
     Arg.(value & flag_all
@@ -92,7 +117,7 @@ let obs_setup =
                    are deterministic: any $(docv) produces the same \
                    output as 1.  Defaults to $(b,PDF_JOBS) or 1.")
   in
-  let setup metrics_out verbose jobs =
+  let setup metrics_out trace_out prom_out prom_flush verbose jobs =
     (match verbose with
     | [] -> ()
     | [ _ ] -> Log.set_level Log.Info
@@ -103,7 +128,7 @@ let obs_setup =
     | Some n ->
       Printf.eprintf "pdfatpg: --jobs %d is invalid (want >= 1)\n" n;
       exit 2);
-    match metrics_out with
+    (match metrics_out with
     | None -> ()
     | Some path ->
       at_exit (fun () ->
@@ -112,9 +137,53 @@ let obs_setup =
               Metrics.write_jsonl path
             else Metrics.write_csv path
           with Sys_error msg ->
-            Printf.eprintf "pdfatpg: cannot write metrics: %s\n" msg)
+            Printf.eprintf "pdfatpg: cannot write metrics: %s\n" msg));
+    let trace_out =
+      match trace_out with
+      | Some _ -> trace_out
+      | None -> Sys.getenv_opt "PDF_TRACE_OUT"
+    in
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      let coll = Pdf_obs.Trace.collector () in
+      (* Tee with whatever sink is already installed (the trace
+         subcommand's aggregator) so both keep receiving spans. *)
+      Span.set_sink (Span.tee (Span.sink ()) (Pdf_obs.Trace.sink coll));
+      at_exit (fun () ->
+          try Pdf_obs.Trace.write coll path
+          with Sys_error msg ->
+            Printf.eprintf "pdfatpg: cannot write trace: %s\n" msg));
+    let prom_out =
+      match prom_out with
+      | Some _ -> prom_out
+      | None -> Sys.getenv_opt "PDF_PROM_OUT"
+    in
+    match (prom_out, prom_flush) with
+    | None, None -> ()
+    | None, Some _ ->
+      Printf.eprintf "pdfatpg: --prom-flush needs --prom-out\n";
+      exit 2
+    | Some path, flush ->
+      (match flush with
+      | Some period when period > 0. ->
+        let stop =
+          Pdf_obs.Prom.start_periodic_flush ~period_s:period path
+        in
+        at_exit stop (* stop performs the final write *)
+      | Some period ->
+        Printf.eprintf "pdfatpg: --prom-flush %g is invalid (want > 0)\n"
+          period;
+        exit 2
+      | None ->
+        at_exit (fun () ->
+            try Pdf_obs.Prom.write path
+            with Sys_error msg ->
+              Printf.eprintf "pdfatpg: cannot write prometheus file: %s\n"
+                msg))
   in
-  Term.(const setup $ metrics_out $ verbose $ jobs)
+  Term.(const setup $ metrics_out $ trace_out $ prom_out $ prom_flush
+        $ verbose $ jobs)
 
 (* ------------------------------------------------------------------ *)
 
@@ -228,6 +297,23 @@ let dump_arg =
   let doc = "Write the generated tests to $(docv) (one v1/v3 line each)." in
   Arg.(value & opt (some string) None & info [ "dump-tests" ] ~docv:"FILE" ~doc)
 
+let ledger_out_arg =
+  let doc =
+    "Write the run provenance ledger to $(docv) (JSON lines; one record \
+     per generated test and per fault disposition).  Byte-identical \
+     across --jobs values and simulation engines."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "ledger-out" ] ~docv:"FILE" ~doc)
+
+let write_ledger path ledger =
+  match (path, ledger) with
+  | Some path, Some l ->
+    Pdf_obs.Ledger.write_jsonl l path;
+    Printf.printf "wrote %d ledger records to %s\n" (Pdf_obs.Ledger.size l)
+      path
+  | _ -> ()
+
 let dump_tests path tests =
   match path with
   | None -> ()
@@ -244,12 +330,15 @@ let atpg_cmd =
              ~doc:"Report how many input bits the tests actually need \
                    (don't-care extraction).")
   in
-  let run () name n_p n_p0 seed ordering criterion relax dump =
+  let run () name n_p n_p0 seed ordering criterion relax dump ledger_out =
     with_circuit name (fun c ->
+        let ledger =
+          Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out
+        in
         let model = Delay_model.lines c in
-        let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
+        let ts = Target_sets.build ~criterion ?ledger c model ~n_p ~n_p0 in
         let faults0 = Fault_sim.prepare ~criterion c ts.Target_sets.p0 in
-        let res = Atpg.basic c { Atpg.ordering; seed } ~faults:faults0 in
+        let res = Atpg.basic ?ledger c { Atpg.ordering; seed } ~faults:faults0 in
         Printf.printf
           "basic ATPG (%s): %d/%d P0 faults detected, %d tests, %d aborted \
            primaries, %.2fs\n"
@@ -280,13 +369,15 @@ let atpg_cmd =
               *. float_of_int (!total_bits - !needed)
               /. float_of_int !total_bits)
         end;
-        dump_tests dump res.Atpg.tests)
+        dump_tests dump res.Atpg.tests;
+        write_ledger ledger_out ledger)
   in
   Cmd.v
     (Cmd.info "atpg"
        ~doc:"Basic test generation for the P0 target faults (paper Sec. 2).")
     Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
-          $ ordering_arg $ criterion_arg $ relax_flag $ dump_arg)
+          $ ordering_arg $ criterion_arg $ relax_flag $ dump_arg
+          $ ledger_out_arg)
 
 let enrich_cmd =
   let coverage_flag =
@@ -295,15 +386,18 @@ let enrich_cmd =
              ~doc:"Print a per-path-length coverage comparison of the basic \
                    and enriched test sets.")
   in
-  let run () name n_p n_p0 seed criterion coverage dump =
+  let run () name n_p n_p0 seed criterion coverage dump ledger_out =
     with_circuit name (fun c ->
+        let ledger =
+          Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out
+        in
         let model = Delay_model.lines c in
-        let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
+        let ts = Target_sets.build ~criterion ?ledger c model ~n_p ~n_p0 in
         let faults = Fault_sim.prepare ~criterion c ts.Target_sets.p in
         let n0 = List.length ts.Target_sets.p0 in
         let p0 = List.init n0 (fun i -> i) in
         let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
-        let res = Atpg.enrich c ~seed ~faults ~p0 ~p1 in
+        let res = Atpg.enrich ?ledger c ~seed ~faults ~p0 ~p1 in
         Printf.printf
           "enrichment: %d/%d P0 and %d/%d P0 u P1 faults detected, %d tests, \
            %.2fs\n"
@@ -334,13 +428,14 @@ let enrich_cmd =
                [ Coverage.of_flags faults basic_flags;
                  Coverage.of_flags faults res.Atpg.detected ])
         end;
-        dump_tests dump res.Atpg.tests)
+        dump_tests dump res.Atpg.tests;
+        write_ledger ledger_out ledger)
   in
   Cmd.v
     (Cmd.info "enrich"
        ~doc:"Test enrichment with target sets P0 and P1 (paper Sec. 3).")
     Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
-          $ criterion_arg $ coverage_flag $ dump_arg)
+          $ criterion_arg $ coverage_flag $ dump_arg $ ledger_out_arg)
 
 let faultsim_cmd =
   let tests_file =
@@ -694,7 +789,7 @@ let tables_cmd =
       let table_runs =
         Pdf_par.Pool.map pool
           (fun p ->
-            Printf.eprintf "running %s...\n%!" p.Profiles.name;
+            Log.raw_line (Printf.sprintf "running %s..." p.Profiles.name);
             Runner.run ~pool ~seed scale p)
           Profiles.table_rows
       in
@@ -702,7 +797,7 @@ let tables_cmd =
         if need 6 then
           Pdf_par.Pool.map pool
             (fun p ->
-              Printf.eprintf "running %s...\n%!" p.Profiles.name;
+              Log.raw_line (Printf.sprintf "running %s..." p.Profiles.name);
               Runner.run ~pool ~seed ~with_basics:false scale p)
             Profiles.star_rows
         else []
@@ -729,6 +824,47 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables.")
     Term.(const run $ obs_setup $ scale_arg $ which $ csv_dir $ seed_arg)
 
+let explain_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FAULT"
+             ~doc:"Fault id (integer) or a substring of the fault name \
+                   (e.g. a net on the path).")
+  in
+  let run () name query n_p n_p0 seed criterion =
+    with_circuit name (fun c ->
+        let module Provenance = Pdf_experiments.Provenance in
+        let p = Provenance.build ~criterion ~n_p ~n_p0 ~seed c in
+        match Provenance.explain p query with
+        | Ok text -> print_string text
+        | Error msg ->
+          prerr_endline ("pdfatpg: " ^ msg);
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Run enrichment with a provenance ledger and explain one \
+             fault's disposition: which test detects it (and how it was \
+             folded in), or why it was aborted, left uncovered, or \
+             eliminated as undetectable.")
+    Term.(const run $ obs_setup $ circuit_arg $ query_arg $ n_p_arg
+          $ n_p0_arg $ seed_arg $ criterion_arg)
+
+let report_cmd =
+  let run () name n_p n_p0 seed criterion ledger_out =
+    with_circuit name (fun c ->
+        let module Provenance = Pdf_experiments.Provenance in
+        let p = Provenance.build ~criterion ~n_p ~n_p0 ~seed c in
+        print_string (Provenance.report p);
+        write_ledger ledger_out (Some p.Provenance.ledger))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run enrichment with a provenance ledger and print the \
+             disposition summary and per-test provenance tables.")
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg
+          $ seed_arg $ criterion_arg $ ledger_out_arg)
+
 let trace_cmd =
   let run () name n_p n_p0 seed criterion =
     with_circuit name (fun c ->
@@ -736,7 +872,11 @@ let trace_cmd =
            phase, then compare the instrumented self-time total against
            the independently measured wall clock. *)
         let agg = Span.agg () in
-        Span.set_sink (Span.agg_sink agg);
+        (* Tee onto any sink obs_setup already installed (--trace-out)
+           and restore it afterwards, so this subcommand composes with
+           the shared trace exporter. *)
+        let prev_sink = Span.sink () in
+        Span.set_sink (Span.tee prev_sink (Span.agg_sink agg));
         let t0 = Unix.gettimeofday () in
         let ts, faults, p0, p1, res =
           Span.with_ "total" (fun () ->
@@ -752,7 +892,7 @@ let trace_cmd =
               (ts, faults, p0, p1, res))
         in
         let wall = Unix.gettimeofday () -. t0 in
-        Span.set_sink Span.Null;
+        Span.set_sink prev_sink;
         Metrics.set_int (Metrics.gauge "enrich.p0_detected")
           (Atpg.count_detected res ~ids:p0);
         Metrics.set_int (Metrics.gauge "enrich.p1_detected")
@@ -792,7 +932,8 @@ let () =
       [
         profiles_cmd; info_cmd; paths_cmd; histogram_cmd; count_cmd;
         sta_cmd; atpg_cmd; enrich_cmd; faultsim_cmd; gen_cmd; timing_cmd;
-        diagnose_cmd; tables_cmd; ablations_cmd; trace_cmd;
+        diagnose_cmd; tables_cmd; ablations_cmd; trace_cmd; explain_cmd;
+        report_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -6,6 +6,7 @@ module Rng = Pdf_util.Rng
 module Metrics = Pdf_obs.Metrics
 module Span = Pdf_obs.Span
 module Log = Pdf_obs.Log
+module Ledger = Pdf_obs.Ledger
 
 let m_delta_evals = Metrics.counter "atpg.delta_evals"
 
@@ -148,11 +149,18 @@ let contradicts_implied implied reqs =
         && Req.compatible_bit v.Pdf_values.Triple.v3 req.Req.r3))
     reqs
 
-let generate c config ~faults ~primaries ~secondary_pools =
+let generate ?ledger c config ~faults ~primaries ~secondary_pools =
   Span.with_ "atpg" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let engine = Justify.create c in
   let runs0 = Justify.runs engine and trials0 = Justify.trials engine in
+  let ord_name = Ordering.name config.ordering in
+  (* Provenance (DESIGN.md §9): everything recorded in the ledger is
+     derived from the sequential generation loop and the seed — no
+     timestamps, no schedule-dependent data — so the emitted JSONL is
+     byte-identical across --jobs and scalar/packed simulation. *)
+  let with_ledger f = Option.iter f ledger in
+  let fault_name i = Pdf_faults.Fault.to_string c faults.(i).Fault_sim.fault in
   (* Per-ordering counters: the same pipeline run exercises several
      compaction heuristics, and their work must not be conflated. *)
   let cnt suffix =
@@ -210,6 +218,46 @@ let generate c config ~faults ~primaries ~secondary_pools =
   let pools = List.map by_rank secondary_pools in
   let aborts = ref 0 in
   let tests = ref [] in
+  with_ledger (fun l ->
+      Ledger.record l ~kind:"run"
+        [
+          ("ordering", Ledger.S ord_name);
+          ("seed", Ledger.I config.seed);
+          ("faults", Ledger.I n);
+          ("primaries", Ledger.I (List.length primaries));
+          ( "pools",
+            Ledger.L (List.map (fun p -> Ledger.I (List.length p)) pools) );
+        ]);
+  (* Per-fault provenance state.  [reject_reason] keeps the most recent
+     rejection cause so an uncovered fault can be explained; [folded_at]
+     and [detected_via] pin each fault to the test that absorbed or
+     detected it. *)
+  let reject_reason = Array.make n `Never in
+  let folded_at = Array.make n (-1) in
+  let detected_via : (int * string) option array = Array.make n None in
+  let next_test_id = ref 0 in
+  let cur_test_id = ref (-1) in
+  let cur_folded = ref [] in
+  let note_folded i via =
+    folded_at.(i) <- !cur_test_id;
+    with_ledger (fun _ ->
+        cur_folded :=
+          Ledger.O
+            [
+              ("id", Ledger.I i);
+              ("fault", Ledger.S (fault_name i));
+              ("step", Ledger.I !folded_this_test);
+              ("via", Ledger.S via);
+            ]
+          :: !cur_folded)
+  in
+  (* Live progress: gauges a dashboard can scrape plus an Info-level
+     event stream, both updated once per generated test. *)
+  let ndet = ref 0 in
+  let g_prog_tests = Metrics.gauge ("atpg." ^ ord_name ^ ".progress_tests")
+  and g_prog_detected =
+    Metrics.gauge ("atpg." ^ ord_name ^ ".progress_detected")
+  in
   (* Try to add candidate [i] to the current test's fault set: free if the
      test already detects it, otherwise re-justify the enlarged
      requirement union.  Returns true when accepted. *)
@@ -220,6 +268,7 @@ let generate c config ~faults ~primaries ~secondary_pools =
     match delta st.acc faults.(i).Fault_sim.reqs with
     | None ->
       Metrics.incr m_rej_conflict;
+      reject_reason.(i) <- `Conflict;
       None
     | Some (updates, _) ->
       if detects st i then begin
@@ -228,10 +277,12 @@ let generate c config ~faults ~primaries ~secondary_pools =
         Metrics.incr m_free;
         Metrics.incr m_folded;
         incr folded_this_test;
+        note_folded i "free";
         Some updates
       end
       else if contradicts_implied st.implied faults.(i).Fault_sim.reqs then begin
         Metrics.incr m_rej_implied;
+        reject_reason.(i) <- `Implied;
         None
       end
       else begin
@@ -244,9 +295,11 @@ let generate c config ~faults ~primaries ~secondary_pools =
           st.implied <- recompute_implied c st.acc;
           Metrics.incr m_folded;
           incr folded_this_test;
+          note_folded i "justified";
           Some updates
         | None ->
           Metrics.incr m_rej_search;
+          reject_reason.(i) <- `Search;
           None
       end
   in
@@ -267,7 +320,9 @@ let generate c config ~faults ~primaries ~secondary_pools =
     let buckets : (int, int list) Hashtbl.t = Hashtbl.create 256 in
     let refresh i =
       match delta st.acc faults.(i).Fault_sim.reqs with
-      | None -> in_pool.(i) <- false (* direct conflict: rejected *)
+      | None ->
+        in_pool.(i) <- false (* direct conflict: rejected *);
+        reject_reason.(i) <- `Conflict
       | Some (_, d) -> nd.(i) <- d
     in
     List.iter
@@ -337,6 +392,9 @@ let generate c config ~faults ~primaries ~secondary_pools =
     | Some p0 ->
       tried.(p0) <- true;
       Metrics.incr m_primaries;
+      let j_runs0 = Justify.runs engine
+      and j_trials0 = Justify.trials engine
+      and j_bt0 = Justify.backtracks engine in
       (match Justify.run engine ~rng ~reqs:faults.(p0).Fault_sim.reqs with
       | None ->
         incr aborts;
@@ -358,6 +416,10 @@ let generate c config ~faults ~primaries ~secondary_pools =
           | None -> assert false);
         st.implied <- recompute_implied c st.acc;
         folded_this_test := 0;
+        let id = !next_test_id in
+        incr next_test_id;
+        cur_test_id := id;
+        cur_folded := [];
         Span.with_ "compact" (fun () ->
             match config.ordering with
             | Ordering.Uncompacted -> ()
@@ -376,10 +438,75 @@ let generate c config ~faults ~primaries ~secondary_pools =
               (fun i _ ->
                 if (not detected.(i)) && detects st i then begin
                   detected.(i) <- true;
+                  incr ndet;
+                  let via =
+                    if i = p0 then "primary"
+                    else if folded_at.(i) = id then "folded"
+                    else "accidental"
+                  in
+                  detected_via.(i) <- Some (id, via);
                   if i <> p0 then Metrics.incr m_accidental
                 end)
-              faults))
+              faults);
+        with_ledger (fun l ->
+            Ledger.record l ~kind:"test"
+              [
+                ("id", Ledger.I id);
+                ("ordering", Ledger.S ord_name);
+                ("primary", Ledger.I p0);
+                ("primary_fault", Ledger.S (fault_name p0));
+                ("pattern", Ledger.S (Test_pair.to_string st.test));
+                ("folded", Ledger.L (List.rev !cur_folded));
+                ( "justify",
+                  Ledger.O
+                    [
+                      ("runs", Ledger.I (Justify.runs engine - j_runs0));
+                      ("trials", Ledger.I (Justify.trials engine - j_trials0));
+                      ( "backtracks",
+                        Ledger.I (Justify.backtracks engine - j_bt0) );
+                    ] );
+              ]);
+        Metrics.set_int g_prog_tests (id + 1);
+        Metrics.set_int g_prog_detected !ndet;
+        if Log.enabled Log.Info then
+          Log.event ~fields:
+            [ ("ordering", ord_name);
+              ("tests", string_of_int (id + 1));
+              ("detected", string_of_int !ndet);
+              ("faults", string_of_int n) ]
+            "atpg.progress")
   done;
+  with_ledger (fun l ->
+      Array.iteri
+        (fun i _ ->
+          let disposition =
+            if detected.(i) then
+              match detected_via.(i) with
+              | Some (t, via) ->
+                [
+                  ("disposition", Ledger.S "detected");
+                  ("test", Ledger.I t);
+                  ("via", Ledger.S via);
+                ]
+              | None -> assert false
+            else if tried.(i) then [ ("disposition", Ledger.S "aborted") ]
+            else
+              let reason =
+                match reject_reason.(i) with
+                | `Never -> "never_targeted"
+                | `Conflict -> "conflict"
+                | `Implied -> "implied"
+                | `Search -> "search"
+              in
+              [
+                ("disposition", Ledger.S "uncovered");
+                ("reason", Ledger.S reason);
+              ]
+          in
+          Ledger.record l ~kind:"fault"
+            ([ ("id", Ledger.I i); ("fault", Ledger.S (fault_name i)) ]
+            @ disposition))
+        faults);
   let result =
     {
       tests = List.rev !tests;
@@ -396,7 +523,7 @@ let generate c config ~faults ~primaries ~secondary_pools =
     (Fault_sim.count detected) (Array.length faults) !aborts;
   result
 
-let basic c config ~faults =
+let basic ?ledger c config ~faults =
   let ids = List.init (Array.length faults) (fun i -> i) in
   let pools =
     match config.ordering with
@@ -404,18 +531,18 @@ let basic c config ~faults =
     | Ordering.Arbitrary | Ordering.Length_based | Ordering.Value_based ->
       [ ids ]
   in
-  generate c config ~faults ~primaries:ids ~secondary_pools:pools
+  generate ?ledger c config ~faults ~primaries:ids ~secondary_pools:pools
 
-let enrich c ~seed ~faults ~p0 ~p1 =
-  generate c
+let enrich ?ledger c ~seed ~faults ~p0 ~p1 =
+  generate ?ledger c
     { ordering = Ordering.Value_based; seed }
     ~faults ~primaries:p0 ~secondary_pools:[ p0; p1 ]
 
-let enrich_multi c ~seed ~faults ~pools =
+let enrich_multi ?ledger c ~seed ~faults ~pools =
   match pools with
   | [] -> invalid_arg "Atpg.enrich_multi: no pools"
   | first :: _ ->
-    generate c
+    generate ?ledger c
       { ordering = Ordering.Value_based; seed }
       ~faults ~primaries:first ~secondary_pools:pools
 

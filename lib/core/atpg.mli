@@ -44,15 +44,30 @@ type result = {
 }
 
 val generate :
+  ?ledger:Pdf_obs.Ledger.t ->
   Pdf_circuit.Circuit.t ->
   config ->
   faults:Fault_sim.prepared array ->
   primaries:int list ->
   secondary_pools:int list list ->
   result
-(** Fault ids in [primaries] and the pools index into [faults]. *)
+(** Fault ids in [primaries] and the pools index into [faults].
+
+    When [ledger] is given the run appends provenance records
+    (DESIGN.md §9): one ["run"] header, one ["test"] record per
+    generated test (primary fault, secondary faults folded with their
+    fold step and whether each came for free or needed justification,
+    and the test's justification effort), and one ["fault"] record per
+    prepared fault with its disposition — [detected] (by which test and
+    via [primary]/[folded]/[accidental]), [aborted] (targeted as a
+    primary, justification found no test) or [uncovered] (with the last
+    rejection reason).  Records carry no timestamps and are appended by
+    the sequential generation loop only, so the ledger JSONL is
+    byte-identical across [--jobs] values and the scalar/packed
+    simulation engines. *)
 
 val basic :
+  ?ledger:Pdf_obs.Ledger.t ->
   Pdf_circuit.Circuit.t ->
   config ->
   faults:Fault_sim.prepared array ->
@@ -61,6 +76,7 @@ val basic :
     uses no secondary pool. *)
 
 val enrich :
+  ?ledger:Pdf_obs.Ledger.t ->
   Pdf_circuit.Circuit.t ->
   seed:int ->
   faults:Fault_sim.prepared array ->
@@ -71,6 +87,7 @@ val enrich :
     in the paper). *)
 
 val enrich_multi :
+  ?ledger:Pdf_obs.Ledger.t ->
   Pdf_circuit.Circuit.t ->
   seed:int ->
   faults:Fault_sim.prepared array ->

@@ -22,13 +22,20 @@ let h_backtrack_depth =
    per-engine, so callers measuring one phase get exact figures even
    when other engines run concurrently on other domains.  An engine is
    only ever driven from one domain at a time. *)
-type t = { circuit : Circuit.t; mutable e_runs : int; mutable e_trials : int }
+type t = {
+  circuit : Circuit.t;
+  mutable e_runs : int;
+  mutable e_trials : int;
+  mutable e_backtracks : int;
+}
 
-let create circuit = { circuit; e_runs = 0; e_trials = 0 }
+let create circuit = { circuit; e_runs = 0; e_trials = 0; e_backtracks = 0 }
 
 let runs t = t.e_runs
 
 let trials t = t.e_trials
+
+let backtracks t = t.e_backtracks
 
 exception No_test
 
@@ -330,6 +337,7 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
     in
     let spend depth =
       incr backtracks;
+      engine.e_backtracks <- engine.e_backtracks + 1;
       Metrics.incr m_backtracks;
       Metrics.observe_int h_backtrack_depth depth;
       if !backtracks > max_backtracks then raise Budget_exhausted

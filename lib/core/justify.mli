@@ -47,6 +47,11 @@ val trials : t -> int
     per-engine, like {!runs} — the process-wide total is the
     [justify.trials] metric. *)
 
+val backtracks : t -> int
+(** Backtracks spent by {e this} engine's {!run_complete} searches;
+    per-engine, like {!runs} — the process-wide total is the
+    [justify.backtracks] metric. *)
+
 (** {2 Complete search}
 
     The paper notes that the coverage variations caused by random value

@@ -1,0 +1,40 @@
+(** Provenance-enabled enrichment runs: the engine behind
+    [pdfatpg explain] and [pdfatpg report].
+
+    {!build} runs the full enrichment pipeline (target-set selection,
+    preparation, two-pool generation) with a {!Pdf_obs.Ledger} attached,
+    so every enumerated fault ends with exactly one disposition —
+    detected (by which test and via primary / folded / accidental),
+    aborted, uncovered (with the last rejection reason), or eliminated
+    as undetectable (with the conflict class).  The schema is documented
+    in DESIGN.md §9. *)
+
+type t = {
+  circuit : Pdf_circuit.Circuit.t;
+  target_sets : Pdf_faults.Target_sets.t;
+  faults : Pdf_core.Fault_sim.prepared array;
+  result : Pdf_core.Atpg.result;
+  ledger : Pdf_obs.Ledger.t;
+}
+
+val build :
+  ?criterion:Pdf_faults.Robust.criterion ->
+  ?n_p:int ->
+  ?n_p0:int ->
+  ?seed:int ->
+  Pdf_circuit.Circuit.t ->
+  t
+(** Defaults: robust criterion, [n_p = 2000], [n_p0 = 200],
+    [Workload.default_seed].  The attached ledger is deterministic:
+    byte-identical across [--jobs] values and scalar/packed simulation
+    engines. *)
+
+val explain : t -> string -> (string, string) result
+(** [explain t query] — a human-readable account of the matching
+    fault(s): [query] is a fault id (integer) or a substring of a fault
+    name.  [Error] when nothing matches. *)
+
+val report : t -> string
+(** Disposition summary, a per-test provenance table, and a consistency
+    line checking that every enumerated fault has exactly one
+    disposition. *)

@@ -72,13 +72,24 @@ let run ?pool ?(seed = Workload.default_seed) ?(with_basics = true)
           Fault_sim.count
             (Fault_sim.detected_by_tests ~pool c res.Atpg.tests faults)
         in
-        {
-          ordering;
-          p0_detected = Fault_sim.count res.Atpg.detected;
-          tests = List.length res.Atpg.tests;
-          p_detected;
-          runtime_s = res.Atpg.runtime_s;
-        })
+        let br =
+          {
+            ordering;
+            p0_detected = Fault_sim.count res.Atpg.detected;
+            tests = List.length res.Atpg.tests;
+            p_detected;
+            runtime_s = res.Atpg.runtime_s;
+          }
+        in
+        (* Live progress for long table runs; Log.event serialises
+           through the log mutex, so pool workers never interleave. *)
+        Log.event ~fields:
+          [ ("profile", profile.Profiles.name);
+            ("ordering", Ordering.name ordering);
+            ("tests", string_of_int br.tests);
+            ("p0_detected", string_of_int br.p0_detected) ]
+          "runner.progress";
+        br)
       orderings
   in
   let er =

@@ -29,8 +29,8 @@ let paper_n_p = 10_000
 
 let paper_n_p0 = 1_000
 
-let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust) c
-    model ~n_p ~n_p0 =
+let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust)
+    ?ledger c model ~n_p ~n_p0 =
   if n_p < 2 then invalid_arg "Target_sets.build: n_p < 2";
   Span.with_ "target-sets" (fun () ->
   let enumeration =
@@ -45,7 +45,7 @@ let build ?(mode = Enumerate.Distance_pruned) ?(criterion = Robust.Robust) c
   let kept, undetectable =
     Span.with_ "undetectable" (fun () ->
     let faults = List.map fst all_faults in
-    let kept_faults, stats = Undetectable.filter ~criterion c faults in
+    let kept_faults, stats = Undetectable.filter ~criterion ?ledger c faults in
     let lengths = Hashtbl.create 64 in
     List.iter
       (fun (f, l) -> Hashtbl.replace lengths f.Fault.path l)

@@ -22,6 +22,7 @@ type t = {
 val build :
   ?mode:Pdf_paths.Enumerate.mode ->
   ?criterion:Robust.criterion ->
+  ?ledger:Pdf_obs.Ledger.t ->
   Pdf_circuit.Circuit.t ->
   Pdf_paths.Delay_model.t ->
   n_p:int ->
@@ -29,7 +30,9 @@ val build :
   t
 (** [build c model ~n_p ~n_p0].  [n_p] bounds the number of faults in [P]
     during enumeration (two faults per path); [n_p0] is the [N_P0]
-    threshold.  Default mode is {!Pdf_paths.Enumerate.Distance_pruned}. *)
+    threshold.  Default mode is {!Pdf_paths.Enumerate.Distance_pruned}.
+    [ledger] is passed through to {!Undetectable.filter} so eliminated
+    faults get provenance records. *)
 
 val paper_n_p : int
 (** 10000 — the paper's implementation constant. *)

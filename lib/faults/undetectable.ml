@@ -20,12 +20,34 @@ type stats = {
   implication_conflicts : int;
 }
 
-let filter ?(criterion = Robust.Robust) c faults =
+(* One provenance record per eliminated fault; "component" is the
+   pattern component (0 = first pattern, 1 = intermediate, 2 = second)
+   whose implied value conflicted. *)
+let record_eliminated ledger c f = function
+  | Maybe_detectable -> ()
+  | Direct_conflict ->
+    Pdf_obs.Ledger.record ledger ~kind:"undetectable"
+      [
+        ("fault", Pdf_obs.Ledger.S (Fault.to_string c f));
+        ("class", Pdf_obs.Ledger.S "direct_conflict");
+      ]
+  | Implication_conflict { net; component } ->
+    Pdf_obs.Ledger.record ledger ~kind:"undetectable"
+      [
+        ("fault", Pdf_obs.Ledger.S (Fault.to_string c f));
+        ("class", Pdf_obs.Ledger.S "implication_conflict");
+        ("net", Pdf_obs.Ledger.S (Pdf_circuit.Circuit.net_name c net));
+        ("component", Pdf_obs.Ledger.I component);
+      ]
+
+let filter ?(criterion = Robust.Robust) ?ledger c faults =
   let direct = ref 0 and implied = ref 0 in
   let kept =
     List.filter
       (fun f ->
-        match classify ~criterion c f with
+        let verdict = classify ~criterion c f in
+        Option.iter (fun l -> record_eliminated l c f verdict) ledger;
+        match verdict with
         | Maybe_detectable -> true
         | Direct_conflict ->
           incr direct;

@@ -26,7 +26,12 @@ type stats = {
 
 val filter :
   ?criterion:Robust.criterion ->
+  ?ledger:Pdf_obs.Ledger.t ->
   Pdf_circuit.Circuit.t ->
   Fault.t list ->
   Fault.t list * stats
-(** Keep only faults classified {!Maybe_detectable}, preserving order. *)
+(** Keep only faults classified {!Maybe_detectable}, preserving order.
+    When [ledger] is given, one ["undetectable"] record is appended per
+    eliminated fault (its name, conflict class, and for implication
+    conflicts the conflicting net and pattern component) — the
+    disposition side of [pdfatpg explain] (DESIGN.md §9). *)

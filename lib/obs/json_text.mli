@@ -1,0 +1,12 @@
+(** JSON text encoding shared by the pdf_obs exporters.  Encoding only —
+    nothing in the pipeline parses JSON back. *)
+
+val escape : string -> string
+(** Escape for inclusion inside a JSON string literal (no quotes added). *)
+
+val quote : string -> string
+(** [escape] wrapped in double quotes. *)
+
+val float : float -> string
+(** Compact float rendering: integral values without a fraction, [null]
+    for NaN, [%.17g] (round-trippable) otherwise. *)

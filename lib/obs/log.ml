@@ -18,13 +18,24 @@ let to_string = function
   | Error -> "error"
   | Quiet -> "quiet"
 
+(* Every stderr line the pipeline emits — events, formatted log
+   messages, and the raw progress lines of the drivers — goes through
+   this one mutex-protected writer, so lines from concurrent pool
+   workers never interleave mid-line. *)
+let emit_mutex = Mutex.create ()
+
+let raw_line line =
+  Mutex.lock emit_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock emit_mutex) @@ fun () ->
+  Printf.eprintf "%s\n%!" line
+
 let initial =
   match Sys.getenv_opt "PDF_LOG" with
   | Some s -> (
     match of_string s with
     | Some l -> l
     | None ->
-      Printf.eprintf "[pdf] ignoring unknown PDF_LOG %S\n%!" s;
+      raw_line (Printf.sprintf "[pdf] ignoring unknown PDF_LOG %S" s);
       Warn)
   | None -> Warn
 
@@ -38,28 +49,23 @@ let enabled l = l <> Quiet && rank l >= rank !current
 
 let t0 = Unix.gettimeofday ()
 
-(* One event = one atomic line on stderr, even when pool workers log
-   concurrently. *)
-let emit_mutex = Mutex.create ()
-
 let emit l msg fields =
-  Mutex.lock emit_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock emit_mutex) @@ fun () ->
   let fields_s =
     match fields with
     | [] -> ""
     | fs ->
       " " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fs)
   in
-  Printf.eprintf "[pdf %8.3f] %-5s %s%s\n%!"
-    (Unix.gettimeofday () -. t0)
-    (match l with
-    | Debug -> "DEBUG"
-    | Info -> "INFO"
-    | Warn -> "WARN"
-    | Error -> "ERROR"
-    | Quiet -> "QUIET")
-    msg fields_s
+  raw_line
+    (Printf.sprintf "[pdf %8.3f] %-5s %s%s"
+       (Unix.gettimeofday () -. t0)
+       (match l with
+       | Debug -> "DEBUG"
+       | Info -> "INFO"
+       | Warn -> "WARN"
+       | Error -> "ERROR"
+       | Quiet -> "QUIET")
+       msg fields_s)
 
 let event ?(level = Info) ?(fields = []) name =
   if enabled level then emit level name fields

@@ -24,6 +24,13 @@ val event : ?level:level -> ?fields:(string * string) list -> string -> unit
 (** Structured event: a name plus [key=value] fields (default level
     [Info]). *)
 
+val raw_line : string -> unit
+(** Write one line to [stderr] through the log's mutex-protected writer,
+    unconditionally (no level filter, no prefix).  Drivers that print
+    their own progress lines from pool tasks must use this instead of
+    [Printf.eprintf] so lines never interleave mid-line under
+    [--jobs > 1]. *)
+
 val debug : ('a, unit, string, unit) format4 -> 'a
 
 val info : ('a, unit, string, unit) format4 -> 'a

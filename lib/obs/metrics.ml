@@ -189,19 +189,32 @@ let float_cell v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6g" v
 
-let hist_detail (h : hist_data) =
-  let parts = ref [] in
-  Array.iteri
-    (fun i n ->
-      let label =
-        if i < Array.length h.bounds then
-          Printf.sprintf "le%s" (float_cell h.bounds.(i))
-        else "inf"
+(* One histogram encoding for every renderer: cumulative counts per
+   upper bound, closed by a [+Inf] bucket equal to [total] — exactly the
+   Prometheus exposition semantics.  The table/CSV detail cell, the
+   JSONL export and Prom.render all consume this. *)
+let cumulative (h : hist_data) =
+  let acc = ref 0 in
+  List.init
+    (Array.length h.counts)
+    (fun i ->
+      acc := !acc + h.counts.(i);
+      let bound =
+        if i < Array.length h.bounds then Some h.bounds.(i) else None
       in
-      parts := Printf.sprintf "%s=%d" label n :: !parts)
-    h.counts;
-  Printf.sprintf "sum=%s;%s" (float_cell h.sum)
-    (String.concat ";" (List.rev !parts))
+      (bound, !acc))
+
+let bound_label = function
+  | Some b -> float_cell b
+  | None -> "+Inf"
+
+let hist_detail (h : hist_data) =
+  let parts =
+    List.map
+      (fun (bound, n) -> Printf.sprintf "le%s=%d" (bound_label bound) n)
+      (cumulative h)
+  in
+  Printf.sprintf "sum=%s;%s" (float_cell h.sum) (String.concat ";" parts)
 
 let row_of = function
   | name, Counter_v v -> [ name; "counter"; string_of_int v; "" ]
@@ -228,26 +241,9 @@ let to_csv ?(registry = default) () =
 let write_csv ?(registry = default) path =
   Pdf_util.Csv.write_file (to_csv ~registry ()) path
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Json_text.escape
 
-let json_float v =
-  if Float.is_nan v then "null"
-  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
-  else Printf.sprintf "%.17g" v
+let json_float = Json_text.float
 
 let jsonl_line (name, d) =
   match d with
@@ -258,16 +254,15 @@ let jsonl_line (name, d) =
     Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"gauge\",\"value\":%s}"
       (json_escape name) (json_float v)
   | Histogram_v h ->
-    let bucket i n =
+    (* Cumulative buckets with a closing +Inf, mirroring the Prometheus
+       exposition (one encoding, two renderers). *)
+    let bucket (bound, n) =
       let le =
-        if i < Array.length h.bounds then json_float h.bounds.(i)
-        else "\"inf\""
+        match bound with Some b -> json_float b | None -> "\"+Inf\""
       in
       Printf.sprintf "{\"le\":%s,\"n\":%d}" le n
     in
-    let buckets =
-      String.concat "," (List.mapi bucket (Array.to_list h.counts))
-    in
+    let buckets = String.concat "," (List.map bucket (cumulative h)) in
     Printf.sprintf
       "{\"metric\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
       (json_escape name) h.total (json_float h.sum) buckets

@@ -76,6 +76,17 @@ type data =
 val snapshot : ?registry:t -> unit -> (string * data) list
 (** Current values, sorted by metric name. *)
 
+val cumulative : hist_data -> (float option * int) list
+(** The histogram's buckets as cumulative counts per upper bound, closed
+    by an implicit [+Inf] bucket ([None]) whose count equals
+    [hist_data.total] — the Prometheus exposition semantics.  Every
+    renderer (table/CSV detail, JSONL, {!Prom}) consumes this one
+    encoding. *)
+
+val bound_label : float option -> string
+(** Compact rendering of a {!cumulative} upper bound; [None] renders as
+    ["+Inf"]. *)
+
 val reset : ?registry:t -> unit -> unit
 (** Zero every metric in the registry (registrations are kept). *)
 

@@ -1,0 +1,90 @@
+(* Prometheus text-exposition renderer for the metrics registry.
+
+   Metric names are sanitised to the Prometheus grammar (runs of
+   non-alphanumeric characters become one '_') and prefixed with "pdf_"
+   so the pipeline's series never collide with a scraper's own.
+   Counters get the conventional "_total" suffix; histograms emit
+   cumulative "_bucket{le=...}" series closed by le="+Inf", plus "_sum"
+   and "_count" — all derived from Metrics.cumulative, the single
+   cumulative encoding shared with the table/CSV/JSONL renderers. *)
+
+let sanitize name =
+  let buf = Buffer.create (String.length name + 4) in
+  Buffer.add_string buf "pdf_";
+  let last_us = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' ->
+        Buffer.add_char buf c;
+        last_us := false
+      | _ ->
+        if not !last_us then Buffer.add_char buf '_';
+        last_us := true)
+    name;
+  Buffer.contents buf
+
+(* %.17g round-trips every float; integral values render bare for
+   readability (Prometheus accepts both). *)
+let number = Json_text.float
+
+let render ?registry () =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  List.iter
+    (fun (name, data) ->
+      let p = sanitize name in
+      match (data : Metrics.data) with
+      | Metrics.Counter_v v ->
+        line "# TYPE %s_total counter\n" p;
+        line "%s_total %d\n" p v
+      | Metrics.Gauge_v v ->
+        line "# TYPE %s gauge\n" p;
+        line "%s %s\n" p (number v)
+      | Metrics.Histogram_v h ->
+        line "# TYPE %s histogram\n" p;
+        List.iter
+          (fun (bound, cum) ->
+            line "%s_bucket{le=\"%s\"} %d\n" p
+              (Metrics.bound_label bound)
+              cum)
+          (Metrics.cumulative h);
+        line "%s_sum %s\n" p (number h.Metrics.sum);
+        line "%s_count %d\n" p h.Metrics.total)
+    (Metrics.snapshot ?registry ());
+  Buffer.contents buf
+
+let write ?registry path =
+  let oc = open_out path in
+  output_string oc (render ?registry ());
+  close_out oc
+
+(* Periodic flush for long runs: a helper domain rewrites [path] every
+   [period_s] seconds until the returned stop function is called, which
+   also performs one final write so the file always reflects the end
+   state.  Naps are short so stop never blocks for a full period. *)
+let start_periodic_flush ?registry ~period_s path =
+  if period_s <= 0. then invalid_arg "Prom.start_periodic_flush: period <= 0";
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let rec sleep_until deadline =
+          if not (Atomic.get stop) then begin
+            let now = Unix.gettimeofday () in
+            if now >= deadline then begin
+              write ?registry path;
+              sleep_until (now +. period_s)
+            end
+            else begin
+              Unix.sleepf (Float.min 0.2 (deadline -. now));
+              sleep_until deadline
+            end
+          end
+        in
+        sleep_until (Unix.gettimeofday () +. period_s))
+  in
+  fun () ->
+    if not (Atomic.exchange stop true) then begin
+      Domain.join d;
+      write ?registry path
+    end

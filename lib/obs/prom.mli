@@ -1,0 +1,25 @@
+(** Prometheus text-exposition exporter for the {!Metrics} registry.
+
+    Counters render as [<name>_total], gauges bare, histograms as
+    cumulative [<name>_bucket{le="..."}] series closed by [le="+Inf"]
+    plus [<name>_sum] / [<name>_count] — the cumulative counts come from
+    {!Metrics.cumulative}, the same encoding the table/CSV/JSONL
+    renderers use.  Names are sanitised to the Prometheus grammar and
+    prefixed with [pdf_]. *)
+
+val sanitize : string -> string
+(** [sanitize "justify.runs"] is ["pdf_justify_runs"]. *)
+
+val render : ?registry:Metrics.t -> unit -> string
+
+val write : ?registry:Metrics.t -> string -> unit
+(** Overwrite [path] with {!render}'s output — the node-exporter
+    textfile-collector convention. *)
+
+val start_periodic_flush :
+  ?registry:Metrics.t -> period_s:float -> string -> unit -> unit
+(** [start_periodic_flush ~period_s path] spawns a helper domain that
+    rewrites [path] every [period_s] seconds (for watching long runs);
+    the returned thunk stops the domain and performs one final write.
+    Calling the thunk twice is harmless.  Raises [Invalid_argument] if
+    [period_s <= 0]. *)

@@ -1,9 +1,13 @@
 type record = {
   name : string;
   depth : int;
+  track : int;
+  start_s : float;
   wall_s : float;
   self_s : float;
   alloc_words : float;
+  seq_open : int;
+  seq_close : int;
 }
 
 type sink = Null | Emit of (record -> unit)
@@ -13,6 +17,27 @@ let current_sink = ref Null
 let set_sink s = current_sink := s
 
 let sink () = !current_sink
+
+let tee a b =
+  match a, b with
+  | Null, s | s, Null -> s
+  | Emit f, Emit g -> Emit (fun r -> f r; g r)
+
+(* Process epoch for [start_s]; shared by every domain so traces from
+   pool workers land on one common time axis. *)
+let t0 = Unix.gettimeofday ()
+
+let epoch () = t0
+
+(* Which trace track the current domain's spans belong to.  The default
+   provider puts everything on track 0; [Pdf_par.Pool] installs a
+   provider that returns the worker's rank so parallel phases render as
+   one track per pool domain. *)
+let track_provider = ref (fun () -> 0)
+
+let set_track_provider f = track_provider := f
+
+let current_track () = !track_provider ()
 
 type frame = { frame_id : int; mutable child_s : float }
 
@@ -40,10 +65,10 @@ let with_ name f =
     let depth = List.length !stack in
     stack := fr :: !stack;
     let a0 = allocated_words () in
-    let t0 = Unix.gettimeofday () in
+    let t_open = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
-        let wall = Unix.gettimeofday () -. t0 in
+        let wall = Unix.gettimeofday () -. t_open in
         let alloc = allocated_words () -. a0 in
         (* Pop back to (and including) our frame even if an exception
            skipped nested [finally] handlers. *)
@@ -60,9 +85,17 @@ let with_ name f =
           {
             name;
             depth;
+            track = !track_provider ();
+            start_s = t_open -. t0;
             wall_s = wall;
             self_s = Float.max 0. (wall -. fr.child_s);
             alloc_words = alloc;
+            seq_open = fr.frame_id;
+            (* Same counter as [seq_open]: open and close events of one
+               track are totally ordered by sequence number, which is what
+               the Chrome-trace writer sorts on (timestamps alone can tie
+               at microsecond resolution). *)
+            seq_close = Atomic.fetch_and_add next_id 1 + 1;
           })
       f
 

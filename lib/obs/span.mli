@@ -13,9 +13,16 @@
 type record = {
   name : string;
   depth : int;  (** nesting depth at entry; 0 = top level *)
+  track : int;  (** trace track of the emitting domain (see {!set_track_provider}) *)
+  start_s : float;  (** seconds from the process {!epoch} to span open *)
   wall_s : float;  (** inclusive wall-clock seconds *)
   self_s : float;  (** [wall_s] minus the time spent in child spans *)
   alloc_words : float;  (** words allocated while the span was open *)
+  seq_open : int;  (** global sequence number taken at span open *)
+  seq_close : int;
+      (** global sequence number taken at span close; open/close events of
+          one track are totally ordered by these (timestamps can tie at
+          microsecond resolution) *)
 }
 
 type sink = Null | Emit of (record -> unit)
@@ -24,6 +31,25 @@ val set_sink : sink -> unit
 (** Install a sink process-wide.  {!Null} disables tracing. *)
 
 val sink : unit -> sink
+
+val tee : sink -> sink -> sink
+(** Deliver every record to both sinks ({!Null} is the neutral element);
+    lets the CLI combine the aggregating profile with the Chrome-trace
+    collector. *)
+
+val epoch : unit -> float
+(** [Unix.gettimeofday] at module initialisation — the zero point of
+    every {!record.start_s}. *)
+
+val set_track_provider : (unit -> int) -> unit
+(** Install the function that names the current domain's trace track.
+    The default provider returns [0] for every domain; [Pdf_par.Pool]
+    installs one that returns the pool worker's rank ([0] = the
+    submitting/main domain), giving the Chrome-trace exporter one track
+    per pool domain. *)
+
+val current_track : unit -> int
+(** The track the installed provider assigns to the calling domain. *)
 
 val with_ : string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span.  The record is emitted even when

@@ -1,0 +1,142 @@
+(* Chrome trace-event exporter (Perfetto-loadable).
+
+   A collector is a span sink that keeps one entry per completed span:
+   its track (pool-domain rank), open/close timestamps relative to the
+   span epoch, and the open/close sequence numbers.  At write time every
+   span becomes a begin/end ("B"/"E") event pair; events of one track
+   are ordered by sequence number — within a domain, spans open and
+   close in program order, so the sequence order is exactly the balanced
+   nesting order even when microsecond timestamps tie — and timestamps
+   are then clamped to be non-decreasing per track. *)
+
+type span_ev = {
+  sp_name : string;
+  sp_track : int;
+  b_us : float;
+  e_us : float;
+  seq_b : int;
+  seq_e : int;
+}
+
+type t = {
+  mutable rev_spans : span_ev list;
+  mutable count : int;
+  mutex : Mutex.t;
+}
+
+let collector () = { rev_spans = []; count = 0; mutex = Mutex.create () }
+
+let sink t =
+  Span.Emit
+    (fun (r : Span.record) ->
+      let ev =
+        {
+          sp_name = r.Span.name;
+          sp_track = r.Span.track;
+          b_us = r.Span.start_s *. 1e6;
+          e_us = (r.Span.start_s +. r.Span.wall_s) *. 1e6;
+          seq_b = r.Span.seq_open;
+          seq_e = r.Span.seq_close;
+        }
+      in
+      Mutex.lock t.mutex;
+      t.rev_spans <- ev :: t.rev_spans;
+      t.count <- t.count + 1;
+      Mutex.unlock t.mutex)
+
+let size t = t.count
+
+type phase = B | E
+
+type event = { ph : phase; name : string; track : int; ts_us : float }
+
+(* Begin/end events per track, sequence-ordered, timestamps clamped
+   monotonic per track; tracks in ascending order. *)
+let sorted_events t =
+  Mutex.lock t.mutex;
+  let spans = List.rev t.rev_spans in
+  Mutex.unlock t.mutex;
+  let by_track : (int, (int * event) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun sp ->
+      let bucket =
+        match Hashtbl.find_opt by_track sp.sp_track with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add by_track sp.sp_track b;
+          b
+      in
+      bucket :=
+        ( sp.seq_e,
+          { ph = E; name = sp.sp_name; track = sp.sp_track; ts_us = sp.e_us } )
+        :: ( sp.seq_b,
+             { ph = B; name = sp.sp_name; track = sp.sp_track;
+               ts_us = sp.b_us } )
+        :: !bucket)
+    spans;
+  let tracks =
+    Hashtbl.fold (fun track b acc -> (track, !b) :: acc) by_track []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.concat_map
+    (fun (_, evs) ->
+      let ordered =
+        List.sort (fun (sa, _) (sb, _) -> Int.compare sa sb) evs
+      in
+      let last = ref neg_infinity in
+      List.map
+        (fun (_, ev) ->
+          let ts = Float.max ev.ts_us !last in
+          last := ts;
+          { ev with ts_us = ts })
+        ordered)
+    tracks
+
+let to_json ?(process_name = "pdfatpg") t =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add_event s =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf s
+  in
+  add_event
+    (Printf.sprintf
+       "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":%s}}"
+       (Json_text.quote process_name));
+  let events = sorted_events t in
+  let tracks =
+    List.sort_uniq Int.compare (List.map (fun ev -> ev.track) events)
+  in
+  List.iter
+    (fun track ->
+      let label =
+        if track = 0 then "domain 0 (main)"
+        else Printf.sprintf "domain %d" track
+      in
+      add_event
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}"
+           track (Json_text.quote label)))
+    tracks;
+  List.iter
+    (fun ev ->
+      add_event
+        (Printf.sprintf
+           "{\"name\":%s,\"cat\":\"span\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+           (Json_text.quote ev.name)
+           (match ev.ph with B -> "B" | E -> "E")
+           ev.ts_us ev.track))
+    events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write ?process_name t path =
+  let oc = open_out path in
+  output_string oc (to_json ?process_name t);
+  close_out oc

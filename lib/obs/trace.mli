@@ -1,0 +1,40 @@
+(** Chrome trace-event exporter.
+
+    A {!collector} is a {!Span.sink} that records every completed span;
+    {!write} renders them in the Chrome trace-event JSON format (an
+    object with a [traceEvents] array), loadable in Perfetto or
+    [chrome://tracing].  Each span becomes a ["B"]/["E"] event pair on
+    the track of the pool domain that ran it (track 0 is the main /
+    submitting domain; workers are tracks 1..jobs-1, see
+    {!Span.set_track_provider}), and ["M"] metadata events name the
+    process and each track.
+
+    Because spans are only reported at close, events of one track are
+    reconstructed in open/close sequence order — a total order per
+    domain — and timestamps are clamped to be non-decreasing within a
+    track, so the per-track streams are balanced and correctly nested
+    even when microsecond timestamps tie. *)
+
+type t
+
+val collector : unit -> t
+
+val sink : t -> Span.sink
+(** Install with [Span.set_sink (Trace.sink c)] — or tee with the
+    previous sink via {!Span.tee} to keep aggregation running. *)
+
+val size : t -> int
+(** Number of spans collected so far. *)
+
+type phase = B | E
+
+type event = { ph : phase; name : string; track : int; ts_us : float }
+
+val sorted_events : t -> event list
+(** The begin/end events as they will be emitted: grouped by ascending
+    track, sequence-ordered and timestamp-clamped within each track.
+    Exposed for tests. *)
+
+val to_json : ?process_name:string -> t -> string
+
+val write : ?process_name:string -> t -> string -> unit

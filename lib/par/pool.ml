@@ -24,6 +24,16 @@ type t = {
    run inline instead of waiting on workers that may all be busy. *)
 let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
+(* Rank of the current domain for observability: 0 for the main /
+   submitting domain, i+1 for the i-th spawned worker of the pool it
+   belongs to.  Registered as the span track provider so trace exports
+   render one track per pool domain. *)
+let rank_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let worker_rank () = Domain.DLS.get rank_key
+
+let () = Pdf_obs.Span.set_track_provider worker_rank
+
 let run_task task =
   let flag = Domain.DLS.get in_task in
   let saved = !flag in
@@ -55,7 +65,10 @@ let create ~jobs =
     }
   in
   pool.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set rank_key (i + 1);
+            worker_loop pool));
   pool
 
 let jobs pool = pool.pool_jobs
@@ -162,8 +175,7 @@ let env_jobs () =
     match int_of_string_opt s with
     | Some n when n >= 1 -> n
     | Some _ | None ->
-      Printf.eprintf "[pdf] ignoring invalid PDF_JOBS %S (want an int >= 1)\n%!"
-        s;
+      Pdf_obs.Log.warn "ignoring invalid PDF_JOBS %S (want an int >= 1)" s;
       1)
 
 let default_mutex = Mutex.create ()

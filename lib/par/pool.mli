@@ -41,6 +41,12 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** The parallelism degree the pool was created with. *)
 
+val worker_rank : unit -> int
+(** Rank of the calling domain: [0] for the main / submitting domain,
+    [i + 1] for the [i]-th spawned worker of its pool.  Loading this
+    module registers the rank as the {!Pdf_obs.Span} track provider, so
+    Chrome-trace exports render one track per pool domain. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] applies [f] to every element of [xs], running the
     applications on the pool's domains, and returns the results in input

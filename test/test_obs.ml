@@ -234,6 +234,235 @@ let test_log_of_string () =
   check Alcotest.bool "unknown rejected" true (Log.of_string "chatty" = None)
 
 (* ------------------------------------------------------------------ *)
+(* Chrome trace exporter                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Pdf_obs.Trace
+
+let with_trace_collector f =
+  let coll = Trace.collector () in
+  Span.set_sink (Trace.sink coll);
+  Fun.protect ~finally:(fun () -> Span.set_sink Span.Null) f;
+  coll
+
+let count_sub hay sub =
+  let lh = String.length hay and ls = String.length sub in
+  let n = ref 0 and i = ref 0 in
+  while !i + ls <= lh do
+    if String.sub hay !i ls = sub then begin
+      incr n;
+      i := !i + ls
+    end
+    else incr i
+  done;
+  !n
+
+let test_trace_multi_track () =
+  (* A 3-way barrier inside each task forces all three pool domains
+     (submitter + 2 workers) to each run exactly one of the three tasks,
+     so the trace deterministically carries one track per domain. *)
+  let m = Mutex.create () and cv = Condition.create () in
+  let arrived = ref 0 in
+  let barrier () =
+    Mutex.lock m;
+    incr arrived;
+    if !arrived >= 3 then Condition.broadcast cv
+    else
+      while !arrived < 3 do
+        Condition.wait cv m
+      done;
+    Mutex.unlock m
+  in
+  let coll =
+    with_trace_collector (fun () ->
+        Pdf_par.Pool.with_pool ~jobs:3 (fun pool ->
+            ignore
+              (Pdf_par.Pool.map pool
+                 (fun i ->
+                   Span.with_ "pool-task" (fun () ->
+                       Span.with_ "task-inner" barrier;
+                       i * 2))
+                 [ 0; 1; 2 ])))
+  in
+  check Alcotest.int "two spans per task" 6 (Trace.size coll);
+  let events = Trace.sorted_events coll in
+  let tracks =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.track) events)
+  in
+  check Alcotest.(list int) "one track per pool domain" [ 0; 1; 2 ] tracks;
+  List.iter
+    (fun tr ->
+      let evs = List.filter (fun e -> e.Trace.track = tr) events in
+      (* B/E streams are balanced and well nested per track... *)
+      let depth =
+        List.fold_left
+          (fun d e ->
+            match e.Trace.ph with
+            | Trace.B -> d + 1
+            | Trace.E ->
+              check Alcotest.bool "E has a matching B" true (d > 0);
+              d - 1)
+          0 evs
+      in
+      check Alcotest.int "balanced B/E" 0 depth;
+      (* ...and timestamps never go backwards within a track. *)
+      ignore
+        (List.fold_left
+           (fun last e ->
+             check Alcotest.bool "monotonic timestamps" true
+               (e.Trace.ts_us >= last);
+             e.Trace.ts_us)
+           neg_infinity evs))
+    tracks
+
+let test_trace_json_shape () =
+  let coll =
+    with_trace_collector (fun () ->
+        Span.with_ "alpha" (fun () ->
+            Span.with_ "beta\"quoted" (fun () -> ())))
+  in
+  let json = Trace.to_json ~process_name:"unit" coll in
+  (* Structural validity: braces/brackets balance outside string
+     literals and every string closes. *)
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  let ok = ref true in
+  String.iter
+    (fun ch ->
+      if !in_str then
+        if !esc then esc := false
+        else if ch = '\\' then esc := true
+        else if ch = '"' then in_str := false
+        else ()
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    json;
+  check Alcotest.bool "brackets balance" true
+    (!ok && !depth = 0 && not !in_str);
+  check Alcotest.int "one traceEvents array" 1 (count_sub json "\"traceEvents\"");
+  check Alcotest.int "two B events" 2 (count_sub json "\"ph\":\"B\"");
+  check Alcotest.int "balanced E events" 2 (count_sub json "\"ph\":\"E\"");
+  check Alcotest.bool "process metadata" true
+    (count_sub json "process_name" >= 1);
+  check Alcotest.bool "track metadata" true
+    (count_sub json "thread_name" >= 1);
+  check Alcotest.int "span names JSON-escaped" 2
+    (count_sub json "beta\\\"quoted")
+
+(* ------------------------------------------------------------------ *)
+(* Histogram cumulative encoding + Prometheus exporter                 *)
+(* ------------------------------------------------------------------ *)
+
+module Prom = Pdf_obs.Prom
+
+let test_histogram_cumulative () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.; 2. |] "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 5.0 ];
+  match Metrics.snapshot ~registry:r () with
+  | [ ("h", Metrics.Histogram_v d) ] ->
+    check
+      Alcotest.(list (pair (option (float 0.)) int))
+      "cumulative counts closed by +Inf"
+      [ (Some 1., 2); (Some 2., 3); (None, 4) ]
+      (Metrics.cumulative d);
+    check Alcotest.string "+Inf label" "+Inf" (Metrics.bound_label None)
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+let test_prom_render () =
+  check Alcotest.string "sanitize" "pdf_justify_runs"
+    (Prom.sanitize "justify.runs");
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter ~registry:r "justify.runs") 3;
+  Metrics.set (Metrics.gauge ~registry:r "atpg.progress") 1.5;
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.; 2. |] "depth" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 5.0 ];
+  let lines = String.split_on_char '\n' (Prom.render ~registry:r ()) in
+  let has l = check Alcotest.bool l true (List.mem l lines) in
+  has "# TYPE pdf_justify_runs_total counter";
+  has "pdf_justify_runs_total 3";
+  has "# TYPE pdf_atpg_progress gauge";
+  has "pdf_atpg_progress 1.5";
+  has "# TYPE pdf_depth histogram";
+  has "pdf_depth_bucket{le=\"1\"} 2";
+  has "pdf_depth_bucket{le=\"2\"} 3";
+  has "pdf_depth_bucket{le=\"+Inf\"} 4";
+  has "pdf_depth_sum 8";
+  has "pdf_depth_count 4"
+
+let test_prom_periodic_flush () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "flips" in
+  Metrics.add c 1;
+  let path = Filename.temp_file "pdf_prom" ".prom" in
+  (try
+     ignore
+       (Prom.start_periodic_flush ~registry:r ~period_s:0. path
+         : unit -> unit);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  let stop = Prom.start_periodic_flush ~registry:r ~period_s:0.01 path in
+  Metrics.add c 41;
+  stop ();
+  stop ();
+  (* stopping twice is harmless *)
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  (* The stop thunk performs a final write, so the file reflects the
+     end state regardless of how many periods elapsed. *)
+  check Alcotest.bool "final flush" true
+    (List.mem "pdf_flips_total 42" (String.split_on_char '\n' text))
+
+(* ------------------------------------------------------------------ *)
+(* Provenance ledger                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger = Pdf_obs.Ledger
+
+let test_ledger_append_order_and_queries () =
+  let l = Ledger.create () in
+  Ledger.record l ~kind:"fault" [ ("id", Ledger.I 0); ("name", Ledger.S "a") ];
+  Ledger.record l ~kind:"test" [ ("id", Ledger.I 1) ];
+  Ledger.record l ~kind:"fault" [ ("id", Ledger.I 1); ("name", Ledger.S "b") ];
+  check Alcotest.int "size" 3 (Ledger.size l);
+  check
+    Alcotest.(list string)
+    "append order preserved" [ "fault"; "test"; "fault" ]
+    (List.map (fun r -> r.Ledger.kind) (Ledger.records l));
+  let hits =
+    Ledger.find l ~kind:"fault" (fun r -> Ledger.get_int r "id" = Some 1)
+  in
+  check Alcotest.int "find filters by kind and predicate" 1 (List.length hits);
+  let r = List.hd hits in
+  check (Alcotest.option Alcotest.string) "get_string" (Some "b")
+    (Ledger.get_string r "name");
+  check (Alcotest.option Alcotest.int) "get_int refuses wrong type" None
+    (Ledger.get_int r "name");
+  check (Alcotest.option Alcotest.string) "absent field" None
+    (Ledger.get_string r "missing")
+
+let test_ledger_jsonl () =
+  let l = Ledger.create () in
+  Ledger.record l ~kind:"note"
+    [
+      ("msg", Ledger.S "say \"hi\"\n");
+      ("n", Ledger.I (-3));
+      ("ok", Ledger.B true);
+      ("xs", Ledger.L [ Ledger.I 1; Ledger.O [ ("k", Ledger.S "v") ] ]);
+    ];
+  check Alcotest.string "kind first, strings escaped"
+    "{\"kind\":\"note\",\"msg\":\"say \\\"hi\\\"\\n\",\"n\":-3,\"ok\":true,\"xs\":[1,{\"k\":\"v\"}]}\n"
+    (Ledger.to_jsonl l)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism guard: instrumentation must not change results          *)
 (* ------------------------------------------------------------------ *)
 
@@ -292,6 +521,72 @@ let test_counters_deterministic () =
   check Alcotest.int "same delta evaluations" (v1 - v0) (v2 - v1);
   check Alcotest.bool "counter advanced" true (v1 > v0)
 
+(* ------------------------------------------------------------------ *)
+(* Provenance: ledger determinism, explain and report                  *)
+(* ------------------------------------------------------------------ *)
+
+module Provenance = Pdf_experiments.Provenance
+
+let s27_provenance =
+  lazy (Provenance.build ~n_p:40 ~n_p0:10 ~seed:2002 s27)
+
+let test_ledger_packed_scalar_identical () =
+  (* DESIGN.md §9: the ledger is part of the §7.3/§8.3 determinism
+     contract — scalar and word-packed simulation must produce the same
+     bytes.  (CI additionally diffs --jobs 1 vs 4.) *)
+  let module Fault_sim = Pdf_core.Fault_sim in
+  let saved = Fault_sim.packed_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Fault_sim.set_packed saved)
+    (fun () ->
+      let build () =
+        let p = Provenance.build ~n_p:40 ~n_p0:10 ~seed:2002 s27 in
+        Pdf_obs.Ledger.to_jsonl p.Provenance.ledger
+      in
+      Fault_sim.set_packed false;
+      let scalar = build () in
+      Fault_sim.set_packed true;
+      let packed = build () in
+      check Alcotest.bool "ledger non-empty" true (String.length scalar > 0);
+      check Alcotest.string "byte-identical scalar vs packed" scalar packed)
+
+let test_explain_golden () =
+  let p = Lazy.force s27_provenance in
+  match Provenance.explain p "3" with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    check Alcotest.string "explain fault 3 on s27"
+      "fault #3: slow-to-rise (G0,G14,G8,G15,G9,G11,G10)\n\
+      \  detected by test 1, via folded\n\
+      \  test 1: primary slow-to-rise (G0,G14,G8,G15,G9,G11,G17), pattern \
+       0001010/1101010\n\
+      \  6 secondary fold(s) into this test\n\
+      \  this fault folded at step 3 (free)\n\
+      \  justification effort: 2 runs, 80 trials, 0 backtracks\n"
+      text
+
+let test_explain_unknown () =
+  let p = Lazy.force s27_provenance in
+  match Provenance.explain p "no-such-net" with
+  | Error _ -> ()
+  | Ok text -> Alcotest.fail ("expected Error, got: " ^ text)
+
+let test_report_consistent () =
+  let p = Lazy.force s27_provenance in
+  let rep = Provenance.report p in
+  let contains sub =
+    let lh = String.length rep and ls = String.length sub in
+    let rec at i = i + ls <= lh && (String.sub rep i ls = sub || at (i + 1)) in
+    at 0
+  in
+  (* Every enumerated fault ends with exactly one disposition. *)
+  check Alcotest.bool "consistency line" true
+    (contains "consistent (each fault has exactly one disposition)");
+  check Alcotest.bool "not flagged inconsistent" false
+    (contains "INCONSISTENT");
+  check Alcotest.bool "disposition summary present" true
+    (contains "detected via folding")
+
 let () =
   Alcotest.run "pdf_obs"
     [
@@ -323,11 +618,40 @@ let () =
           Alcotest.test_case "levels" `Quick test_log_levels;
           Alcotest.test_case "of_string" `Quick test_log_of_string;
         ] );
+      ( "trace",
+        [
+          Alcotest.test_case "one track per pool domain" `Quick
+            test_trace_multi_track;
+          Alcotest.test_case "json shape" `Quick test_trace_json_shape;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "histogram cumulative" `Quick
+            test_histogram_cumulative;
+          Alcotest.test_case "render" `Quick test_prom_render;
+          Alcotest.test_case "periodic flush" `Quick test_prom_periodic_flush;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "append order + queries" `Quick
+            test_ledger_append_order_and_queries;
+          Alcotest.test_case "jsonl encoding" `Quick test_ledger_jsonl;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "null sink identical results" `Quick
             test_null_sink_determinism;
           Alcotest.test_case "counters deterministic" `Quick
             test_counters_deterministic;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "ledger packed = scalar" `Quick
+            test_ledger_packed_scalar_identical;
+          Alcotest.test_case "explain golden" `Quick test_explain_golden;
+          Alcotest.test_case "explain unknown query" `Quick
+            test_explain_unknown;
+          Alcotest.test_case "report consistency" `Quick
+            test_report_consistent;
         ] );
     ]
