@@ -924,6 +924,125 @@ let trace_cmd =
     Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
           $ criterion_arg)
 
+let fuzz_cmd =
+  let rounds_arg =
+    Arg.(value & opt int Pdf_check.Fuzz.default_config.Pdf_check.Fuzz.rounds
+         & info [ "rounds" ] ~docv:"N"
+             ~doc:"Number of fuzzing rounds (one random circuit each).")
+  in
+  let profile_arg =
+    let doc =
+      Printf.sprintf
+        "Generator profile: %s.  Each profile is a grid of circuit shapes \
+         cycled through round by round."
+        (String.concat ", "
+           (List.map
+              (fun p -> p.Pdf_check.Fuzz.profile_name)
+              Pdf_check.Fuzz.profiles))
+    in
+    Arg.(value & opt string "default" & info [ "profile" ] ~doc)
+  in
+  let time_budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "time-budget" ] ~docv:"SECONDS"
+             ~doc:"Stop starting new rounds once $(docv) seconds of \
+                   wall-clock have elapsed (for CI budgets).")
+  in
+  let out_arg =
+    Arg.(value & opt string "_fuzz"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk reproducers (.bench + .repro \
+                   pairs), created on the first violation.")
+  in
+  let no_emit_flag =
+    Arg.(value & flag
+         & info [ "no-emit" ]
+             ~doc:"Do not write reproducer files for violations.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Instead of fuzzing, re-run the oracle recorded in a \
+                   .repro reproducer file and exit 1 if it still fails.")
+  in
+  let run () seed rounds profile time_budget out no_emit replay ledger_out =
+    match replay with
+    | Some path -> (
+      match Pdf_check.Fuzz.replay path with
+      | Error msg ->
+        prerr_endline msg;
+        exit 2
+      | Ok (oracle, Pdf_check.Oracle.Pass) ->
+        Printf.printf "replay %s: oracle %s passes (violation fixed)\n" path
+          oracle
+      | Ok (oracle, Pdf_check.Oracle.Skip msg) ->
+        Printf.printf "replay %s: oracle %s skipped (%s)\n" path oracle msg
+      | Ok (oracle, Pdf_check.Oracle.Fail msg) ->
+        Printf.printf "replay %s: oracle %s STILL FAILS\n  %s\n" path oracle
+          msg;
+        exit 1)
+    | None ->
+      let profile =
+        match Pdf_check.Fuzz.profile_of_name profile with
+        | Some p -> p
+        | None ->
+          prerr_endline
+            (Printf.sprintf "unknown profile %S (try %s)" profile
+               (String.concat ", "
+                  (List.map
+                     (fun p -> p.Pdf_check.Fuzz.profile_name)
+                     Pdf_check.Fuzz.profiles)));
+          exit 2
+      in
+      let ledger =
+        match ledger_out with
+        | Some _ -> Some (Pdf_obs.Ledger.create ())
+        | None -> None
+      in
+      let cfg =
+        {
+          Pdf_check.Fuzz.default_config with
+          Pdf_check.Fuzz.seed;
+          rounds;
+          profile;
+          time_budget_s = time_budget;
+          out_dir = out;
+          emit = not no_emit;
+        }
+      in
+      let s = Pdf_check.Fuzz.run ?ledger cfg in
+      Printf.printf
+        "fuzz: %d rounds, %d oracle checks (%d passed, %d skipped), %d \
+         violation(s) in %.1fs\n"
+        s.Pdf_check.Fuzz.rounds_run s.Pdf_check.Fuzz.checks
+        s.Pdf_check.Fuzz.passes s.Pdf_check.Fuzz.skips
+        (List.length s.Pdf_check.Fuzz.violations)
+        s.Pdf_check.Fuzz.elapsed_s;
+      List.iter
+        (fun (v : Pdf_check.Fuzz.violation) ->
+          Printf.printf
+            "  round %d oracle %s: %s\n    shrunk %d -> %d gates%s\n"
+            v.Pdf_check.Fuzz.round v.Pdf_check.Fuzz.oracle
+            v.Pdf_check.Fuzz.message
+            (Circuit.num_gates v.Pdf_check.Fuzz.circuit)
+            (Circuit.num_gates v.Pdf_check.Fuzz.shrunk)
+            (match v.Pdf_check.Fuzz.files with
+            | Some (_, repro) -> Printf.sprintf ", reproducer %s" repro
+            | None -> ""))
+        s.Pdf_check.Fuzz.violations;
+      write_ledger ledger_out ledger;
+      if s.Pdf_check.Fuzz.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: run every oracle (packed vs scalar \
+             simulation, jobs determinism, justification vs brute force, \
+             robust vs timing detection, enrichment invariants) on random \
+             circuits and shrink any failure to a minimal reproducer.")
+    Term.(const run $ obs_setup $ seed_arg $ rounds_arg $ profile_arg
+          $ time_budget_arg $ out_arg $ no_emit_flag $ replay_arg
+          $ ledger_out_arg)
+
 let () =
   let doc = "Path delay fault test generation with multiple sets of target faults." in
   let info = Cmd.info "pdfatpg" ~version:"1.0.0" ~doc in
@@ -933,7 +1052,7 @@ let () =
         profiles_cmd; info_cmd; paths_cmd; histogram_cmd; count_cmd;
         sta_cmd; atpg_cmd; enrich_cmd; faultsim_cmd; gen_cmd; timing_cmd;
         diagnose_cmd; tables_cmd; ablations_cmd; trace_cmd; explain_cmd;
-        report_cmd;
+        report_cmd; fuzz_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -32,6 +32,18 @@ let batch_bounds n =
   let nb = (n + Word.lanes - 1) / Word.lanes in
   Array.init nb (fun b -> (b * Word.lanes, min n ((b + 1) * Word.lanes)))
 
+(* Mutation-testing hook (DESIGN.md §10): with the bug injected, packed
+   evaluation of AND/NAND gates with three or more fanins silently drops
+   the last fanin.  The scalar simulator is untouched, so the
+   differential oracles in Pdf_check must flag the discrepancy — this is
+   how test_check.ml proves the fuzz harness catches real simulator
+   bugs.  The extra check costs one branch on >2-input gates only. *)
+let injected_bug = Atomic.make false
+
+let set_injected_bug b = Atomic.set injected_bug b
+
+let injected_bug_enabled () = Atomic.get injected_bug
+
 (* One plane of one gate, all lanes at once.  The dual-rail formulas are
    the {!Pdf_values.Word} operations inlined over the plane arrays so the
    inner loop allocates nothing. *)
@@ -45,7 +57,11 @@ let eval_gate_plane (g : Circuit.gate) (z : int array) (o : int array) =
     let zv = ref z.(f0) and ov = ref o.(f0) in
     (match g.Circuit.kind with
     | Gate.And | Gate.Nand ->
-      for i = 1 to Array.length fanins - 1 do
+      let last =
+        let n = Array.length fanins - 1 in
+        if n > 1 && Atomic.get injected_bug then n - 1 else n
+      in
+      for i = 1 to last do
         let f = fanins.(i) in
         zv := !zv lor z.(f);
         ov := !ov land o.(f)

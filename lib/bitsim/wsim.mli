@@ -45,6 +45,16 @@ val batch_bounds : int -> (int * int) array
     most 63 lanes each, at fixed multiples of 63 — independent of any
     parallelism, so batch-derived metrics are jobs-invariant. *)
 
+val set_injected_bug : bool -> unit
+(** Mutation-testing hook for the [Pdf_check] fuzz harness (DESIGN.md
+    §10): when enabled, the packed evaluation of AND/NAND gates with
+    three or more inputs deliberately ignores the last fanin, while the
+    scalar reference simulator stays correct.  The differential oracles
+    must then report a violation and shrink it to a small reproducer —
+    the harness's own self-test.  Never enable outside tests. *)
+
+val injected_bug_enabled : unit -> bool
+
 val lanes : planes -> int
 
 val mask : planes -> int

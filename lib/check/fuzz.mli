@@ -1,0 +1,87 @@
+(** Seeded differential fuzzing over the generator grid (DESIGN.md §10).
+
+    Each round draws one random circuit from a profile's
+    {!Pdf_synth.Generators.dag_params} grid (cycling through the grid)
+    and runs every registered {!Oracle} on it.  A failing oracle
+    triggers {!Shrink.shrink} with "the same oracle still fails" as the
+    property, and — when emission is enabled — writes a two-file
+    reproducer under the output directory:
+
+    - [<oracle>-r<round>.bench] — the shrunk circuit, in ISCAS [.bench]
+      format;
+    - [<oracle>-r<round>.repro] — a [key: value] text file naming the
+      oracle, the oracle seed, the bench file and the failure message,
+      replayable with [pdfatpg fuzz --replay <file>] or {!replay}.
+
+    Everything is deterministic in [(seed, profile, rounds)]: the master
+    RNG hands each round a circuit seed and an oracle seed in a fixed
+    order, oracles run in registry order, and shrinking tries candidates
+    in a fixed order.  The optional time budget and the violation cap
+    only truncate the round sequence, never reorder it. *)
+
+type profile = {
+  profile_name : string;
+  grid : Pdf_synth.Generators.dag_params list;
+      (** round [r] uses entry [r mod length] *)
+}
+
+val profiles : profile list
+(** [default] (a mix of everything) plus the focused profiles [tiny],
+    [deep], [wide], [reconv] and [fanin3]. *)
+
+val profile_of_name : string -> profile option
+
+val default_profile : profile
+
+type config = {
+  seed : int;
+  rounds : int;
+  profile : profile;
+  time_budget_s : float option;
+      (** stop before a round once this much wall-clock has elapsed *)
+  out_dir : string;  (** reproducer directory, created on first failure *)
+  emit : bool;  (** write reproducer files for violations *)
+  max_violations : int;  (** stop after this many violations *)
+  max_shrink_attempts : int;
+      (** property-evaluation budget per {!Shrink.shrink} call *)
+}
+
+val default_config : config
+(** seed 0, 50 rounds, default profile, no time budget, [_fuzz] output,
+    emission on, stop after 5 violations, 300 shrink attempts. *)
+
+type violation = {
+  round : int;
+  oracle : string;
+  circuit_seed : int;  (** generator seed of the failing circuit *)
+  oracle_seed : int;  (** the failing oracle's {!Oracle.ctx} seed *)
+  message : string;  (** first failure message, on the original circuit *)
+  circuit : Pdf_circuit.Circuit.t;  (** as drawn from the generator *)
+  shrunk : Pdf_circuit.Circuit.t;
+  files : (string * string) option;
+      (** (bench, repro) paths when emitted *)
+}
+
+type summary = {
+  rounds_run : int;
+  checks : int;  (** oracle executions, skips included *)
+  passes : int;
+  skips : int;
+  violations : violation list;  (** in discovery order *)
+  elapsed_s : float;
+}
+
+val run : ?ledger:Pdf_obs.Ledger.t -> config -> summary
+(** Run the campaign.  Updates the [fuzz.rounds] / [fuzz.checks] /
+    [fuzz.skips] / [fuzz.violations] counters in
+    {!Pdf_obs.Metrics.default}; when [ledger] is given, appends one
+    [fuzz_run] header, one [fuzz_round] record per round and one
+    [fuzz_violation] record per violation (no timestamps — the ledger
+    stays byte-deterministic in the configuration). *)
+
+val replay : string -> (string * Oracle.outcome, string) result
+(** [replay path] re-runs the oracle recorded in a [.repro] file against
+    its [.bench] circuit (resolved relative to the file's directory) and
+    returns the oracle name with the outcome — [Fail] means the
+    reproducer still reproduces.  [Error] on unreadable or malformed
+    files. *)

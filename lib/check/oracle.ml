@@ -1,0 +1,535 @@
+module Bit = Pdf_values.Bit
+module Triple = Pdf_values.Triple
+module Word = Pdf_values.Word
+module Req = Pdf_values.Req
+module Circuit = Pdf_circuit.Circuit
+module Two_pattern = Pdf_sim.Two_pattern
+module Wsim = Pdf_bitsim.Wsim
+module Fault = Pdf_faults.Fault
+module Target_sets = Pdf_faults.Target_sets
+module Delay_model = Pdf_paths.Delay_model
+module Fault_sim = Pdf_core.Fault_sim
+module Test_pair = Pdf_core.Test_pair
+module Atpg = Pdf_core.Atpg
+module Justify = Pdf_core.Justify
+module Timing = Pdf_core.Timing
+module Ordering = Pdf_core.Ordering
+module Ledger = Pdf_obs.Ledger
+module Pool = Pdf_par.Pool
+module Rng = Pdf_util.Rng
+
+type ctx = { circuit : Circuit.t; seed : int }
+
+type outcome = Pass | Fail of string | Skip of string
+
+type t = { name : string; doc : string; check : ctx -> outcome }
+
+(* ------------------------------------------------------------------ *)
+(* Shared reference oracles                                             *)
+(* ------------------------------------------------------------------ *)
+
+let max_brute_force_pis = 10
+
+let brute_force c reqs =
+  let n = c.Circuit.num_pis in
+  if n > max_brute_force_pis then
+    invalid_arg
+      (Printf.sprintf "Oracle.brute_force: %d PIs exceeds the %d-PI cap" n
+         max_brute_force_pis);
+  let bits v =
+    let a = Array.make n false in
+    for i = 0 to n - 1 do
+      a.(i) <- v land (1 lsl i) <> 0
+    done;
+    a
+  in
+  let limit = 1 lsl n in
+  let found = ref None in
+  let v1 = ref 0 in
+  while !found = None && !v1 < limit do
+    let b1 = bits !v1 in
+    let v3 = ref 0 in
+    while !found = None && !v3 < limit do
+      let t = Test_pair.create b1 (bits !v3) in
+      if Test_pair.satisfies c t reqs then found := Some t;
+      incr v3
+    done;
+    incr v1
+  done;
+  !found
+
+let brute_force_satisfiable c reqs = Option.is_some (brute_force c reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_packed enabled f =
+  let saved = Fault_sim.packed_enabled () in
+  Fault_sim.set_packed enabled;
+  Fun.protect ~finally:(fun () -> Fault_sim.set_packed saved) f
+
+let with_default_jobs jobs f =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) f
+
+let random_pattern rng n =
+  let a = Array.make n false in
+  for i = 0 to n - 1 do
+    a.(i) <- Rng.bool rng
+  done;
+  a
+
+let random_tests rng c n =
+  let pis = c.Circuit.num_pis in
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      let v1 = random_pattern rng pis in
+      let v3 = random_pattern rng pis in
+      go (Test_pair.create v1 v3 :: acc) (k - 1)
+  in
+  go [] n
+
+(* Small target sets keep every oracle subsecond on the generator grid
+   while still exercising multi-pool enrichment.  The budget must reach
+   well past the longest paths: in deep reconvergent circuits those are
+   mostly robustly untestable, and a tight budget would leave every
+   fault-based oracle with an empty pool (a permanent Skip). *)
+let target_faults c =
+  let model = Delay_model.lines c in
+  let ts = Target_sets.build c model ~n_p:240 ~n_p0:40 in
+  let faults = Fault_sim.prepare c ts.Target_sets.p in
+  (model, ts, faults)
+
+let describe_test c t = Printf.sprintf "%s on %s" (Test_pair.to_string t) c.Circuit.name
+
+let bool_arrays_diff a b =
+  if Array.length a <> Array.length b then Some (-1)
+  else
+    let d = ref None in
+    Array.iteri (fun i x -> if !d = None && x <> b.(i) then d := Some i) a;
+    !d
+
+(* ------------------------------------------------------------------ *)
+(* packed-sim: Wsim vs Two_pattern, lane for lane                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_packed_sim { circuit = c; seed } =
+  let rng = Rng.create seed in
+  let n = c.Circuit.num_pis in
+  let lanes = Word.lanes in
+  (* Roughly one lane in five carries an X on each pattern bit, so both
+     polarities of partially specified tests are exercised. *)
+  let rand_bit () =
+    if Rng.int rng 5 = 0 then Bit.X
+    else if Rng.bool rng then Bit.One
+    else Bit.Zero
+  in
+  let b1 = Array.init n (fun _ -> Array.make lanes Bit.X) in
+  let b3 = Array.init n (fun _ -> Array.make lanes Bit.X) in
+  for pi = 0 to n - 1 do
+    for l = 0 to lanes - 1 do
+      b1.(pi).(l) <- rand_bit ();
+      b3.(pi).(l) <- rand_bit ()
+    done
+  done;
+  let w1 = Array.map Word.of_bits b1 in
+  let w3 = Array.map Word.of_bits b3 in
+  let planes = Wsim.simulate c ~w1 ~w3 ~lanes in
+  let violation = ref None in
+  for l = 0 to lanes - 1 do
+    if !violation = None then begin
+      let pairs =
+        Array.init n (fun pi ->
+            { Two_pattern.b1 = b1.(pi).(l); b3 = b3.(pi).(l) })
+      in
+      let scalar = Two_pattern.simulate c pairs in
+      for net = 0 to Circuit.num_nets c - 1 do
+        if !violation = None then begin
+          let packed = Wsim.triple planes ~net ~lane:l in
+          if not (Triple.equal scalar.(net) packed) then
+            violation :=
+              Some
+                (Printf.sprintf
+                   "packed simulation diverges on %s: net %s lane %d: \
+                    scalar %s, packed %s"
+                   c.Circuit.name (Circuit.net_name c net) l
+                   (Triple.to_string scalar.(net))
+                   (Triple.to_string packed))
+        end
+      done
+    end
+  done;
+  match !violation with Some m -> Fail m | None -> Pass
+
+(* ------------------------------------------------------------------ *)
+(* packed-detect / packed-matrix: Fault_sim packed vs scalar            *)
+(* ------------------------------------------------------------------ *)
+
+(* 70 tests crosses the 63-lane threshold, so the packed run really
+   takes the word-batched path (plus a 7-test scalar tail). *)
+let n_detect_tests = 70
+
+let check_packed_detect { circuit = c; seed } =
+  let _, _, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else
+    let rng = Rng.create seed in
+    let tests = random_tests rng c n_detect_tests in
+    let packed = with_packed true (fun () -> Fault_sim.detected_by_tests c tests faults) in
+    let scalar = with_packed false (fun () -> Fault_sim.detected_by_tests c tests faults) in
+    match bool_arrays_diff packed scalar with
+    | None -> Pass
+    | Some i ->
+      Fail
+        (Printf.sprintf
+           "detected_by_tests diverges on %s: fault %d %s: packed %b, \
+            scalar %b"
+           c.Circuit.name i
+           (Fault.to_string c faults.(i).Fault_sim.fault)
+           packed.(i) scalar.(i))
+
+let check_packed_matrix { circuit = c; seed } =
+  let _, _, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else
+    let rng = Rng.create seed in
+    let tests = random_tests rng c n_detect_tests in
+    let packed = with_packed true (fun () -> Fault_sim.detect_matrix c tests faults) in
+    let scalar = with_packed false (fun () -> Fault_sim.detect_matrix c tests faults) in
+    let violation = ref None in
+    Array.iteri
+      (fun t row ->
+        if !violation = None then
+          match bool_arrays_diff row scalar.(t) with
+          | None -> ()
+          | Some i ->
+            violation :=
+              Some
+                (Printf.sprintf
+                   "detect_matrix diverges on %s: test %d fault %d: packed \
+                    %b, scalar %b"
+                   c.Circuit.name t i row.(i) scalar.(t).(i)))
+      packed;
+    match !violation with Some m -> Fail m | None -> Pass
+
+(* ------------------------------------------------------------------ *)
+(* jobs-det: pool parallelism must not change detection results         *)
+(* ------------------------------------------------------------------ *)
+
+let check_jobs_det { circuit = c; seed } =
+  let _, _, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else
+    let rng = Rng.create seed in
+    let tests = random_tests rng c n_detect_tests in
+    let seq_flags, seq_matrix =
+      Pool.with_pool ~jobs:1 (fun pool ->
+          ( Fault_sim.detected_by_tests ~pool c tests faults,
+            Fault_sim.detect_matrix ~pool c tests faults ))
+    in
+    let par_flags, par_matrix =
+      Pool.with_pool ~jobs:3 (fun pool ->
+          ( Fault_sim.detected_by_tests ~pool c tests faults,
+            Fault_sim.detect_matrix ~pool c tests faults ))
+    in
+    match bool_arrays_diff seq_flags par_flags with
+    | Some i ->
+      Fail
+        (Printf.sprintf
+           "detected_by_tests depends on jobs on %s: fault %d: 1-job %b, \
+            3-job %b"
+           c.Circuit.name i seq_flags.(i) par_flags.(i))
+    | None ->
+      let violation = ref None in
+      Array.iteri
+        (fun t row ->
+          if !violation = None then
+            match bool_arrays_diff row par_matrix.(t) with
+            | None -> ()
+            | Some i ->
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "detect_matrix depends on jobs on %s: test %d fault %d"
+                     c.Circuit.name t i))
+        seq_matrix;
+      (match !violation with Some m -> Fail m | None -> Pass)
+
+(* ------------------------------------------------------------------ *)
+(* atpg-engine / atpg-jobs: whole enrichment runs must be identical     *)
+(* across simulation engines and pool sizes, down to the ledger bytes   *)
+(* ------------------------------------------------------------------ *)
+
+let enrich_run c seed faults n0 =
+  let ledger = Ledger.create () in
+  let p0 = List.init n0 (fun i -> i) in
+  let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+  let res = Atpg.enrich ~ledger c ~seed ~faults ~p0 ~p1 in
+  (res, Ledger.to_jsonl ledger)
+
+let compare_runs what c (a : Atpg.result) ja (b : Atpg.result) jb =
+  if List.length a.Atpg.tests <> List.length b.Atpg.tests then
+    Fail
+      (Printf.sprintf "%s on %s: test counts differ (%d vs %d)" what
+         c.Circuit.name
+         (List.length a.Atpg.tests)
+         (List.length b.Atpg.tests))
+  else if not (List.for_all2 Test_pair.equal a.Atpg.tests b.Atpg.tests) then
+    Fail (Printf.sprintf "%s on %s: test patterns differ" what c.Circuit.name)
+  else
+    match bool_arrays_diff a.Atpg.detected b.Atpg.detected with
+    | Some i ->
+      Fail
+        (Printf.sprintf "%s on %s: detection flag of fault %d differs" what
+           c.Circuit.name i)
+    | None ->
+      if a.Atpg.primary_aborts <> b.Atpg.primary_aborts then
+        Fail
+          (Printf.sprintf "%s on %s: abort counts differ (%d vs %d)" what
+             c.Circuit.name a.Atpg.primary_aborts b.Atpg.primary_aborts)
+      else if not (String.equal ja jb) then
+        Fail
+          (Printf.sprintf "%s on %s: ledger JSONL bytes differ" what
+             c.Circuit.name)
+      else Pass
+
+let check_atpg_engine { circuit = c; seed } =
+  let _, ts, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else
+    let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+    if n0 = 0 then Skip "empty P0"
+    else
+      let rp, jp = with_packed true (fun () -> enrich_run c seed faults n0) in
+      let rs, js = with_packed false (fun () -> enrich_run c seed faults n0) in
+      compare_runs "packed vs scalar enrichment" c rp jp rs js
+
+let check_atpg_jobs { circuit = c; seed } =
+  let _, ts, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else
+    let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+    if n0 = 0 then Skip "empty P0"
+    else
+      let r1, j1 = with_default_jobs 1 (fun () -> enrich_run c seed faults n0) in
+      let r3, j3 = with_default_jobs 3 (fun () -> enrich_run c seed faults n0) in
+      compare_runs "1-job vs 3-job enrichment" c r1 j1 r3 j3
+
+(* ------------------------------------------------------------------ *)
+(* justify-brute: justification claims vs exhaustive enumeration        *)
+(* ------------------------------------------------------------------ *)
+
+let max_justify_pis = 8
+
+let check_justify_brute { circuit = c; seed } =
+  if c.Circuit.num_pis > max_justify_pis then
+    Skip
+      (Printf.sprintf "%d PIs exceeds the %d-PI brute-force cap"
+         c.Circuit.num_pis max_justify_pis)
+  else
+    let _, _, faults = target_faults c in
+    if Array.length faults = 0 then Skip "no detectable target faults"
+    else begin
+      let rng = Rng.create seed in
+      let engine = Justify.create c in
+      let violation = ref None in
+      let n_checked = min 12 (Array.length faults) in
+      for i = 0 to n_checked - 1 do
+        if !violation = None then begin
+          let reqs = faults.(i).Fault_sim.reqs in
+          let fname = Fault.to_string c faults.(i).Fault_sim.fault in
+          (match Justify.run engine ~rng ~reqs with
+          | Some t when not (Test_pair.satisfies c t reqs) ->
+            violation :=
+              Some
+                (Printf.sprintf
+                   "justification returned an unsound test for %s on %s: %s"
+                   fname c.Circuit.name (describe_test c t))
+          | _ -> ());
+          if !violation = None then
+            match Justify.run_complete ~max_backtracks:2000 engine ~reqs with
+            | Justify.Found t when not (Test_pair.satisfies c t reqs) ->
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "complete justification returned an unsound test for \
+                      %s on %s"
+                     fname c.Circuit.name)
+            | Justify.Proved_unsatisfiable when brute_force_satisfiable c reqs
+              ->
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "complete justification claimed %s unsatisfiable on %s \
+                      but brute force found a test"
+                     fname c.Circuit.name)
+            | _ -> ()
+        end
+      done;
+      match !violation with Some m -> Fail m | None -> Pass
+    end
+
+(* ------------------------------------------------------------------ *)
+(* robust-timing: robust detection implies physical detection           *)
+(* ------------------------------------------------------------------ *)
+
+let max_timing_pairs = 80
+
+let check_robust_timing { circuit = c; seed } =
+  let model, _, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else begin
+    let period = Timing.nominal_period c model in
+    (* ATPG tests detect their targets by construction, so they supply
+       far more (fault, test) detection pairs than random patterns. *)
+    let res =
+      Atpg.basic c { Atpg.ordering = Ordering.Length_based; seed } ~faults
+    in
+    let rng = Rng.create seed in
+    let tests = res.Atpg.tests @ random_tests rng c 8 in
+    let checked = ref 0 in
+    let violation = ref None in
+    List.iter
+      (fun t ->
+        if !violation = None && !checked < max_timing_pairs then
+          let triples = Test_pair.simulate c t in
+          Array.iter
+            (fun (f : Fault_sim.prepared) ->
+              if
+                !violation = None
+                && !checked < max_timing_pairs
+                && Fault_sim.detects_values triples f
+              then begin
+                incr checked;
+                let slack = period - f.Fault_sim.length in
+                let inject =
+                  { Timing.path = f.Fault_sim.fault.Fault.path;
+                    extra = slack + 1 }
+                in
+                if not (Timing.detects c model ~t_sample:period ~inject t)
+                then
+                  violation :=
+                    Some
+                      (Printf.sprintf
+                         "robust detection of %s on %s not confirmed by \
+                          timing simulation (slack %d, test %s)"
+                         (Fault.to_string c f.Fault_sim.fault)
+                         c.Circuit.name slack (Test_pair.to_string t))
+              end)
+            faults)
+      tests;
+    match !violation with
+    | Some m -> Fail m
+    | None -> if !checked = 0 then Skip "no robust detections to check" else Pass
+  end
+
+(* ------------------------------------------------------------------ *)
+(* enrich-p0: a-posteriori invariants of one enrichment run             *)
+(* ------------------------------------------------------------------ *)
+
+(* A naive cross-run "enrichment covers at least what uncomp covers"
+   comparison is unsound: the randomized justification draws different
+   streams in the two runs, so per-fault outcomes legitimately differ.
+   The machine-checkable forms of the paper's non-regression claim are
+   (a) every justifiable primary stays detected, i.e. P0 coverage is at
+   least |P0| - primary_aborts (aborted primaries may still be detected
+   accidentally by later tests, so this is a lower bound, not an
+   equality); (b) the incrementally maintained flags equal a
+   from-scratch re-simulation of the final test set; and (c) the ledger
+   dispositions agree with the flags.  See DESIGN.md §10. *)
+let check_enrich_p0 { circuit = c; seed } =
+  let _, ts, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else
+    let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+    if n0 = 0 then Skip "empty P0"
+    else begin
+      let ledger = Ledger.create () in
+      let p0 = List.init n0 (fun i -> i) in
+      let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+      let res = Atpg.enrich ~ledger c ~seed ~faults ~p0 ~p1 in
+      let covered = Atpg.count_detected res ~ids:p0 in
+      if covered < n0 - res.Atpg.primary_aborts then
+        Fail
+          (Printf.sprintf
+             "P0 coverage invariant violated on %s: %d covered < |P0| = %d \
+              minus %d abort(s)"
+             c.Circuit.name covered n0 res.Atpg.primary_aborts)
+      else
+        let resim = Fault_sim.detected_by_tests c res.Atpg.tests faults in
+        match bool_arrays_diff res.Atpg.detected resim with
+        | Some i ->
+          Fail
+            (Printf.sprintf
+               "incremental detection flags disagree with batch \
+                re-simulation on %s: fault %d: incremental %b, batch %b"
+               c.Circuit.name i res.Atpg.detected.(i) resim.(i))
+        | None ->
+          let bad = ref None in
+          List.iter
+            (fun r ->
+              if !bad = None then
+                match (Ledger.get_int r "id", Ledger.get_string r "disposition")
+                with
+                | Some id, Some d ->
+                  let flag = res.Atpg.detected.(id) in
+                  if flag <> String.equal d "detected" then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "ledger disposition %S of fault %d contradicts \
+                            detection flag %b on %s"
+                           d id flag c.Circuit.name)
+                | _ -> bad := Some "fault record missing id or disposition")
+            (Ledger.find ledger ~kind:"fault" (fun _ -> true));
+          (match !bad with Some m -> Fail m | None -> Pass)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    { name = "packed-sim";
+      doc = "bit-parallel simulation agrees with the scalar reference";
+      check = check_packed_sim };
+    { name = "packed-detect";
+      doc = "packed and scalar detected_by_tests flags are identical";
+      check = check_packed_detect };
+    { name = "packed-matrix";
+      doc = "packed and scalar detect_matrix rows are identical";
+      check = check_packed_matrix };
+    { name = "jobs-det";
+      doc = "detection results are independent of the pool size";
+      check = check_jobs_det };
+    { name = "atpg-engine";
+      doc = "enrichment is identical under packed and scalar engines";
+      check = check_atpg_engine };
+    { name = "atpg-jobs";
+      doc = "enrichment is identical under 1 and 3 jobs, ledger included";
+      check = check_atpg_jobs };
+    { name = "justify-brute";
+      doc = "justification claims agree with brute-force enumeration";
+      check = check_justify_brute };
+    { name = "robust-timing";
+      doc = "robust detection implies event-driven timing detection";
+      check = check_robust_timing };
+    { name = "enrich-p0";
+      doc = "P0 coverage, detection flags and ledger dispositions cohere";
+      check = check_enrich_p0 };
+  ]
+
+let find name = List.find_opt (fun o -> String.equal o.name name) all
+
+let names () = List.map (fun o -> o.name) all
+
+let run o ctx =
+  try o.check ctx
+  with e ->
+    Fail
+      (Printf.sprintf "oracle %s raised %s on %s" o.name
+         (Printexc.to_string e) ctx.circuit.Circuit.name)

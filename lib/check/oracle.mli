@@ -1,0 +1,84 @@
+(** Differential and metamorphic oracles over one circuit (DESIGN.md §10).
+
+    An oracle is a named property that must hold on {e every} circuit the
+    pipeline can process.  Each one compares two independent computations
+    of the same fact — a fast engine against a reference engine, a claim
+    against exhaustive enumeration, or a logical invariant against the
+    run that is supposed to establish it:
+
+    - [packed-sim] — bit-parallel {!Pdf_bitsim.Wsim} simulation against
+      the scalar {!Pdf_sim.Two_pattern} reference, lane for lane and
+      component for component, including [X] lanes;
+    - [packed-detect] / [packed-matrix] — packed vs scalar
+      {!Pdf_core.Fault_sim.detected_by_tests} / [detect_matrix] flags;
+    - [jobs-det] — detection flags and matrices with a 1-job pool vs a
+      multi-domain pool (byte-identical by the DESIGN.md §8.3 contract);
+    - [atpg-engine] — a full enrichment run under the packed engine vs
+      the scalar engine: tests, detection flags, abort counts and the
+      provenance-ledger JSONL bytes must all agree;
+    - [atpg-jobs] — the same run under [--jobs 1] vs [--jobs 3],
+      including ledger bytes;
+    - [justify-brute] — justification soundness and completeness claims
+      against brute-force enumeration of all PI pairs (small cones only);
+    - [robust-timing] — robust detection per {!Pdf_core.Fault_sim}
+      implies physical detection by the event-driven
+      {!Pdf_core.Timing.detects} ground truth with [extra = slack + 1];
+    - [enrich-p0] — a-posteriori invariants of the enrichment run: P0
+      coverage equals [|P0| - primary_aborts], the incrementally
+      maintained detection flags equal a from-scratch batch
+      re-simulation, and ledger fault dispositions match the flags.
+
+    Oracles are deterministic in [(circuit, seed)]; any engine toggles
+    they flip are restored on exit (including on exceptions). *)
+
+type ctx = {
+  circuit : Pdf_circuit.Circuit.t;
+  seed : int;  (** seeds every random draw the oracle makes *)
+}
+
+type outcome =
+  | Pass
+  | Fail of string  (** violation, with a human-readable diagnosis *)
+  | Skip of string
+      (** property not applicable (e.g. no detectable faults, or the
+          circuit is too large for brute-force enumeration) *)
+
+type t = {
+  name : string;  (** stable identifier, used in reproducer files *)
+  doc : string;
+  check : ctx -> outcome;
+}
+
+val all : t list
+(** The registry, cheapest first.  Order is part of the fuzz harness's
+    determinism contract — a round's RNG draws depend on it. *)
+
+val find : string -> t option
+(** Look up an oracle by {!field-name}. *)
+
+val names : unit -> string list
+
+val run : t -> ctx -> outcome
+(** Run one oracle, catching exceptions: an escaping exception is a
+    [Fail] (oracles must not crash on any generator output). *)
+
+(** {2 Shared reference oracles} *)
+
+val brute_force :
+  Pdf_circuit.Circuit.t ->
+  (int * Pdf_values.Req.t) list ->
+  Pdf_core.Test_pair.t option
+(** Exhaustive search over all [4^num_pis] fully specified two-pattern
+    tests for one satisfying the requirement set — the ground truth that
+    justification engines are checked against.  Enumerates first
+    patterns in the outer loop, second patterns in the inner loop, both
+    in increasing binary order with PI 0 as the least significant bit,
+    so the witness is deterministic.  Raises [Invalid_argument] when the
+    circuit has more than {!max_brute_force_pis} inputs. *)
+
+val brute_force_satisfiable :
+  Pdf_circuit.Circuit.t -> (int * Pdf_values.Req.t) list -> bool
+(** [Option.is_some] of {!brute_force}. *)
+
+val max_brute_force_pis : int
+(** 10 — ~1M simulations; oracles cap themselves well below this. *)

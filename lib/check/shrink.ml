@@ -1,0 +1,108 @@
+module Circuit = Pdf_circuit.Circuit
+module Builder = Pdf_circuit.Builder
+
+let size c = Circuit.num_gates c + c.Circuit.num_pis + Circuit.num_pos c
+
+(* Rebuild [c] keeping only the primary outputs in [pos], with gate
+   outputs in [alias] replaced by their image (and the gates deleted).
+   Fanin nets precede gate outputs in the topological numbering, so
+   alias resolution follows strictly decreasing net indices and
+   terminates.  The rebuild prunes every gate outside the remaining
+   output cones and every PI without remaining consumers; candidates
+   whose rebuild fails structural validation are discarded by returning
+   [None]. *)
+let rebuild c ~alias ~pos =
+  let rec resolve net =
+    match Hashtbl.find_opt alias net with
+    | Some n -> resolve n
+    | None -> net
+  in
+  let pos = List.sort_uniq compare (List.map resolve pos) in
+  if pos = [] then None
+  else begin
+    let needed = Array.make (Circuit.num_nets c) false in
+    let rec visit net =
+      let net = resolve net in
+      if not needed.(net) then begin
+        needed.(net) <- true;
+        match Circuit.gate_of_net c net with
+        | None -> ()
+        | Some gi -> Array.iter visit c.Circuit.gates.(gi).Circuit.fanins
+      end
+    in
+    List.iter visit pos;
+    let name n = Circuit.net_name c n in
+    let b = Builder.create c.Circuit.name in
+    for pi = 0 to c.Circuit.num_pis - 1 do
+      if needed.(pi) then Builder.add_pi b (name pi)
+    done;
+    Array.iteri
+      (fun gi (g : Circuit.gate) ->
+        let out = c.Circuit.num_pis + gi in
+        if needed.(out) && not (Hashtbl.mem alias out) then
+          Builder.add_gate b ~out:(name out) g.Circuit.kind
+            (List.map
+               (fun f -> name (resolve f))
+               (Array.to_list g.Circuit.fanins)))
+      c.Circuit.gates;
+    List.iter (fun p -> Builder.add_po b (name p)) pos;
+    match Builder.finish b with
+    | Ok c' -> if Circuit.validate c' = Ok () then Some c' else None
+    | Error _ -> None
+  end
+
+let no_alias : (int, int) Hashtbl.t = Hashtbl.create 1
+
+(* Candidate transformations, as thunks, in the fixed order the greedy
+   loop tries them: single-output cones first (largest jumps), then gate
+   bypasses from the deepest gate down, then dropping one output at a
+   time. *)
+let candidates c =
+  let pos = Array.to_list c.Circuit.pos in
+  let keep_single =
+    if List.length pos <= 1 then []
+    else List.map (fun p () -> rebuild c ~alias:no_alias ~pos:[ p ]) pos
+  in
+  let bypass =
+    List.concat
+      (List.rev
+         (List.mapi
+            (fun gi (g : Circuit.gate) ->
+              let out = c.Circuit.num_pis + gi in
+              List.map
+                (fun f () ->
+                  let alias = Hashtbl.create 1 in
+                  Hashtbl.add alias out f;
+                  rebuild c ~alias ~pos)
+                (Array.to_list g.Circuit.fanins))
+            (Array.to_list c.Circuit.gates)))
+  in
+  let drop_one =
+    if List.length pos <= 1 then []
+    else
+      List.mapi
+        (fun i _ () ->
+          rebuild c ~alias:no_alias
+            ~pos:(List.filteri (fun j _ -> j <> i) pos))
+        pos
+  in
+  keep_single @ bypass @ drop_one
+
+let shrink ?(max_attempts = 800) ~prop c0 =
+  let attempts = ref 0 in
+  let rec improve c =
+    let cur = size c in
+    let rec try_next = function
+      | [] -> c
+      | mk :: rest ->
+        if !attempts >= max_attempts then c
+        else (
+          match mk () with
+          | Some c' when size c' < cur ->
+            incr attempts;
+            if prop c' then improve c' else try_next rest
+          | _ -> try_next rest)
+    in
+    try_next (candidates c)
+  in
+  improve c0

@@ -1,0 +1,39 @@
+(** Greedy circuit shrinking for fuzz failures (DESIGN.md §10).
+
+    Given a circuit on which a property holds (for the fuzz harness: "the
+    oracle still fails"), the shrinker searches for a structurally
+    smaller circuit on which it still holds, by repeatedly applying the
+    first size-reducing transformation that preserves the property:
+
+    + {e keep a single output} — rebuild the circuit around one primary
+      output's fan-in cone (the big jumps);
+    + {e drop one output} — remove a single primary output and prune
+      whatever logic only it observed;
+    + {e bypass a gate} — alias a gate's output net to one of its fan-in
+      nets and delete the gate, rewiring every consumer.  A fan-in net
+      always precedes the gate's output net in the topological
+      numbering, so alias chains cannot form cycles and resolution
+      terminates.
+
+    After every transformation the circuit is rebuilt from scratch
+    through {!Pdf_circuit.Builder}: dead gates outside the remaining
+    output cones and primary inputs with no remaining consumers are
+    dropped, and a transformation whose rebuild fails validation is
+    simply discarded.  The loop runs to a fixpoint (no candidate both
+    shrinks and preserves the property) or until the attempt budget is
+    exhausted, and is fully deterministic: candidates are tried in a
+    fixed order and the first acceptable one is taken. *)
+
+val size : Pdf_circuit.Circuit.t -> int
+(** Gates + primary inputs + primary outputs: the measure the shrinker
+    reduces. *)
+
+val shrink :
+  ?max_attempts:int ->
+  prop:(Pdf_circuit.Circuit.t -> bool) ->
+  Pdf_circuit.Circuit.t ->
+  Pdf_circuit.Circuit.t
+(** [shrink ~prop c] — [prop c] must already be [true]; the result is a
+    circuit no larger than [c] on which [prop] still holds.  [prop] is
+    never called on an invalid circuit.  [max_attempts] bounds the total
+    number of property evaluations (default 800). *)

@@ -19,28 +19,41 @@ type injection = {
   extra : int;
 }
 
-type event = { time : int; net : int; value : bool; seq : int }
+(* Two event kinds: a net changing value, and a value arriving at one
+   input pin of one gate.  Keeping pin arrivals explicit gives every
+   (stem, branch) wire its own transport delay: a gate is always
+   evaluated over the values that have actually reached it, never over
+   instantaneous net values whose wire delays differ per pin.
+   (Evaluating over net values and delaying by the triggering pin's
+   delay — the obvious shortcut — schedules stale evaluations that can
+   land after the correct one and corrupt even the settled value; the
+   pdf_check fuzzer found exactly that on a NAND whose two fanins had
+   different branch costs, see DESIGN.md §10.) *)
+type action =
+  | Net_change of int * bool  (** net, new value *)
+  | Pin_arrival of int * int * bool  (** gate, pin, value *)
+
+type event = { time : int; seq : int; action : action }
 
 let max_events = 2_000_000
 
-(* Two-valued gate evaluation over the current net values. *)
-let eval_gate (current : bool array) (g : Circuit.gate) =
-  let fanins = g.Circuit.fanins in
-  match g.Circuit.kind with
-  | Gate.Not -> not current.(fanins.(0))
-  | Gate.Buff -> current.(fanins.(0))
+(* Two-valued gate evaluation over the values present at its pins. *)
+let eval_pins (kind : Gate.kind) (pins : bool array) =
+  match kind with
+  | Gate.Not -> not pins.(0)
+  | Gate.Buff -> pins.(0)
   | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
     let op =
-      match g.Circuit.kind with
+      match kind with
       | Gate.And | Gate.Nand -> ( && )
       | Gate.Or | Gate.Nor -> ( || )
       | Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buff -> ( <> )
     in
-    let acc = ref current.(fanins.(0)) in
-    for i = 1 to Array.length fanins - 1 do
-      acc := op !acc current.(fanins.(i))
+    let acc = ref pins.(0) in
+    for i = 1 to Array.length pins - 1 do
+      acc := op !acc pins.(i)
     done;
-    if Gate.inverting g.Circuit.kind then not !acc else !acc
+    if Gate.inverting kind then not !acc else !acc
 
 let injected_pins inject =
   let tbl = Hashtbl.create 16 in
@@ -64,6 +77,14 @@ let simulate ?inject c (model : Delay_model.t) (test : Test_pair.t) =
   (* Settle the first pattern. *)
   let current = Pdf_sim.Logic_sim.simulate_bool c test.Test_pair.v1 in
   let initial = Array.copy current in
+  (* Values present at every gate input pin; start from the settled
+     first pattern. *)
+  let pin_vals =
+    Array.map
+      (fun (g : Circuit.gate) ->
+        Array.map (fun f -> current.(f)) g.Circuit.fanins)
+      c.Circuit.gates
+  in
   let changes = Array.make n [] in
   let settle = ref 0 in
   let queue =
@@ -71,9 +92,9 @@ let simulate ?inject c (model : Delay_model.t) (test : Test_pair.t) =
         a.time < b.time || (a.time = b.time && a.seq <= b.seq))
   in
   let seq = ref 0 in
-  let push time net value =
+  let push time action =
     incr seq;
-    Heap.push queue { time; net; value; seq = !seq }
+    Heap.push queue { time; seq = !seq; action }
   in
   (* Launch the second pattern: a changing input arrives after its own
      stem delay (plus the injected source slowdown for the faulty run). *)
@@ -84,7 +105,9 @@ let simulate ?inject c (model : Delay_model.t) (test : Test_pair.t) =
         | Some (src, e) when src = pi -> e
         | Some _ | None -> 0
       in
-      push (model.Delay_model.stem.(pi) + extra) pi test.Test_pair.v3.(pi)
+      push
+        (model.Delay_model.stem.(pi) + extra)
+        (Net_change (pi, test.Test_pair.v3.(pi)))
     end
   done;
   let processed = ref 0 in
@@ -95,26 +118,33 @@ let simulate ?inject c (model : Delay_model.t) (test : Test_pair.t) =
       incr processed;
       if !processed > max_events then
         failwith "Timing.simulate: event budget exceeded";
-      if current.(ev.net) <> ev.value then begin
-        current.(ev.net) <- ev.value;
-        changes.(ev.net) <- (ev.time, ev.value) :: changes.(ev.net);
-        if ev.time > !settle then settle := ev.time;
-        Array.iter
-          (fun (g, pin) ->
-            let out = Circuit.net_of_gate c g in
-            let v = eval_gate current c.Circuit.gates.(g) in
-            let extra =
-              match Hashtbl.find_opt extra_at (g, pin) with
-              | Some e -> e
-              | None -> 0
-            in
-            let delay =
-              Delay_model.branch_cost model c ev.net
-              + model.Delay_model.stem.(out) + extra
-            in
-            push (ev.time + delay) out v)
-          c.Circuit.fanouts.(ev.net)
-      end;
+      (match ev.action with
+      | Net_change (net, value) ->
+        if current.(net) <> value then begin
+          current.(net) <- value;
+          changes.(net) <- (ev.time, value) :: changes.(net);
+          if ev.time > !settle then settle := ev.time;
+          (* The new value travels each branch separately: the wire
+             delay is the stem's branch cost plus the injected slowdown
+             of the branch entering the on-path pin. *)
+          Array.iter
+            (fun (g, pin) ->
+              let extra =
+                match Hashtbl.find_opt extra_at (g, pin) with
+                | Some e -> e
+                | None -> 0
+              in
+              let delay = Delay_model.branch_cost model c net + extra in
+              push (ev.time + delay) (Pin_arrival (g, pin, value)))
+            c.Circuit.fanouts.(net)
+        end
+      | Pin_arrival (g, pin, value) ->
+        if pin_vals.(g).(pin) <> value then begin
+          pin_vals.(g).(pin) <- value;
+          let out = Circuit.net_of_gate c g in
+          let v = eval_pins c.Circuit.gates.(g).Circuit.kind pin_vals.(g) in
+          push (ev.time + model.Delay_model.stem.(out)) (Net_change (out, v))
+        end);
       drain ()
   in
   drain ();

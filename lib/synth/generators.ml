@@ -29,9 +29,27 @@ let pick_kind rng ~inverter_pct =
     | 8 | 9 -> Gate.Or
     | _ -> Gate.Nand
 
+(* Reject degenerate parameters up front with a field-specific message:
+   0 PIs / 0 gates / a window below 2 would otherwise surface as an
+   obscure [Rng.int] or [Builder] failure from deep inside the build
+   loop (or, for a non-positive fanout cap, silently ignore the cap). *)
+let validate_params (p : dag_params) =
+  let fail fmt = Printf.ksprintf invalid_arg ("Generators.random_dag: " ^^ fmt) in
+  if p.num_pis < 2 then fail "num_pis must be >= 2 (got %d)" p.num_pis;
+  if p.num_gates < 1 then fail "num_gates must be >= 1 (got %d)" p.num_gates;
+  if p.window < 2 then fail "window must be >= 2 (got %d)" p.window;
+  if p.max_fanout < 1 then fail "max_fanout must be >= 1 (got %d)" p.max_fanout;
+  let pct name v =
+    if v < 0 || v > 100 then fail "%s must be in 0..100 (got %d)" name v
+  in
+  pct "reuse_pct" p.reuse_pct;
+  pct "restart_pct" p.restart_pct;
+  pct "fanin3_pct" p.fanin3_pct;
+  pct "inverter_pct" p.inverter_pct;
+  if p.po_taps < 0 then fail "po_taps must be >= 0 (got %d)" p.po_taps
+
 let random_dag ~name ~seed (p : dag_params) =
-  if p.num_pis < 2 || p.num_gates < 1 || p.window < 2 then
-    invalid_arg "Generators.random_dag: degenerate parameters";
+  validate_params p;
   let rng = Rng.create seed in
   let b = Builder.create name in
   for i = 0 to p.num_pis - 1 do

@@ -34,7 +34,10 @@ type dag_params = {
 val random_dag :
   name:string -> seed:int -> dag_params -> Pdf_circuit.Circuit.t
 (** Every net without fanout becomes a primary output, so no path dead
-    ends. *)
+    ends.  Raises [Invalid_argument] with a field-specific message on
+    degenerate parameters: [num_pis < 2], [num_gates < 1], [window < 2],
+    [max_fanout < 1], any percentage outside [0..100], or
+    [po_taps < 0]. *)
 
 val ripple_adder : bits:int -> Pdf_circuit.Circuit.t
 (** [a + b + cin] with sum and carry-out outputs, AND/OR/XOR full adders. *)

@@ -296,6 +296,67 @@ let test_conditions_cache () =
              Fault_sim.conditions s27 e.Target_sets.fault)
            entries))
 
+(* batch_bounds at the word-size boundaries: 0, 1, Word.lanes - 1,
+   Word.lanes and Word.lanes + 1 tests (i.e. 0, 1, 62, 63, 64). *)
+let test_batch_bounds_edges () =
+  check Alcotest.int "word size" 63 Word.lanes;
+  let bounds n = Array.to_list (Wsim.batch_bounds n) in
+  check
+    Alcotest.(list (pair int int))
+    "0 tests" [] (bounds 0);
+  check
+    Alcotest.(list (pair int int))
+    "1 test" [ (0, 1) ] (bounds 1);
+  check
+    Alcotest.(list (pair int int))
+    "62 tests" [ (0, 62) ] (bounds 62);
+  check
+    Alcotest.(list (pair int int))
+    "63 tests" [ (0, 63) ] (bounds 63);
+  check
+    Alcotest.(list (pair int int))
+    "64 tests"
+    [ (0, 63); (63, 64) ]
+    (bounds 64);
+  (* Batches always cut at fixed multiples of the word size and cover
+     0..n-1 without gaps. *)
+  List.iter
+    (fun n ->
+      let bs = bounds n in
+      let covered =
+        List.fold_left
+          (fun next (lo, hi) ->
+            check Alcotest.int "contiguous" next lo;
+            check Alcotest.bool "multiple of lanes" true
+              (lo mod Word.lanes = 0);
+            check Alcotest.bool "non-empty" true (hi > lo);
+            hi)
+          0 bs
+      in
+      check Alcotest.int "covers all" n covered)
+    [ 1; 62; 63; 64; 125; 126; 127; 200 ]
+
+(* The batch entry points agree with the scalar reference at exactly the
+   sizes where the packed path switches on (>= Word.lanes tests) and
+   just below it. *)
+let test_detection_at_word_boundaries () =
+  let faults, all_tests = s27_workload () in
+  List.iter
+    (fun n ->
+      let tests = List.filteri (fun i _ -> i < n) all_tests in
+      let packed =
+        with_packed true @@ fun () ->
+        Fault_sim.detected_by_tests s27 tests faults
+      in
+      let scalar =
+        with_packed false @@ fun () ->
+        Fault_sim.detected_by_tests s27 tests faults
+      in
+      check Alcotest.(array bool)
+        (Printf.sprintf "flags at %d tests" n)
+        scalar packed)
+    [ 0; 1; 62; 63; 64 ]
+
 let () =
   Alcotest.run "pdf_bitsim"
     [
@@ -314,6 +375,10 @@ let () =
           Alcotest.test_case "detect_matrix = per-test rows" `Quick
             test_detect_matrix_vs_single;
           Alcotest.test_case "conditions cache" `Quick test_conditions_cache;
+          Alcotest.test_case "batch_bounds edges" `Quick
+            test_batch_bounds_edges;
+          Alcotest.test_case "detection at word boundaries" `Quick
+            test_detection_at_word_boundaries;
         ] );
       ( "atpg",
         [

@@ -13,6 +13,7 @@ module Justify = Pdf_core.Justify
 module Fault_sim = Pdf_core.Fault_sim
 module Ordering = Pdf_core.Ordering
 module Atpg = Pdf_core.Atpg
+module Ledger = Pdf_obs.Ledger
 module Rng = Pdf_util.Rng
 
 let check = Alcotest.check
@@ -226,6 +227,42 @@ let test_ordering_names () =
     (Ordering.of_name "value-based" = Some Ordering.Value_based);
   check Alcotest.bool "unknown" true (Ordering.of_name "zigzag" = None);
   check Alcotest.int "four heuristics" 4 (List.length Ordering.all)
+
+(* Golden regression: pin the exact test-set sizes and folded-secondary
+   counts each heuristic produces on s27 (seed 9, all 32 prepared
+   faults).  Any change to target ordering, folding or justification
+   shows up here before it shows up as a silent quality drift in the
+   paper's tables.  Values obtained by running the current engine. *)
+let test_ordering_goldens_s27 () =
+  let goldens =
+    [
+      (* ordering, tests, detected, aborts, folded, accidental *)
+      (Ordering.Uncompacted, 13, 32, 0, 0, 19);
+      (Ordering.Arbitrary, 7, 32, 1, 25, 0);
+      (Ordering.Length_based, 7, 32, 0, 25, 0);
+      (Ordering.Value_based, 7, 32, 0, 25, 0);
+    ]
+  in
+  List.iter
+    (fun (ordering, tests, detected, aborts, folded, accidental) ->
+      let name = Ordering.name ordering in
+      let l = Ledger.create () in
+      let res =
+        Atpg.basic ~ledger:l s27 { Atpg.ordering; seed = 9 }
+          ~faults:s27_faults
+      in
+      let via v =
+        List.length
+          (Ledger.find l ~kind:"fault" (fun r ->
+               Ledger.get_string r "via" = Some v))
+      in
+      check Alcotest.int (name ^ " tests") tests (List.length res.Atpg.tests);
+      check Alcotest.int (name ^ " detected") detected
+        (Fault_sim.count res.Atpg.detected);
+      check Alcotest.int (name ^ " aborts") aborts res.Atpg.primary_aborts;
+      check Alcotest.int (name ^ " folded secondaries") folded (via "folded");
+      check Alcotest.int (name ^ " accidental") accidental (via "accidental"))
+    goldens
 
 (* ------------------------------------------------------------------ *)
 (* Atpg                                                                 *)
@@ -917,7 +954,10 @@ let () =
           Alcotest.test_case "count" `Quick test_fault_sim_count;
         ] );
       ( "ordering",
-        [ Alcotest.test_case "names" `Quick test_ordering_names ] );
+        [
+          Alcotest.test_case "names" `Quick test_ordering_names;
+          Alcotest.test_case "s27 goldens" `Quick test_ordering_goldens_s27;
+        ] );
       ( "atpg",
         [
           Alcotest.test_case "detected flags sound" `Quick

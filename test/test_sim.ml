@@ -161,21 +161,54 @@ let prop_two_pattern_middle_conservative =
 (* Implication                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Brute-force satisfiability of a requirement set on c17: try all 1024
-   two-pattern input combinations. *)
+(* Brute-force satisfiability is shared with the fuzz harness: the same
+   enumeration the differential oracles use (Pdf_check.Oracle) backs the
+   implication soundness check here. *)
 let brute_force_satisfiable reqs =
-  let found = ref false in
-  for a = 0 to 31 do
-    for b = 0 to 31 do
-      if not !found then begin
-        let v1 = Array.init 5 (fun i -> Bit.of_bool ((a lsr i) land 1 = 1)) in
-        let v3 = Array.init 5 (fun i -> Bit.of_bool ((b lsr i) land 1 = 1)) in
-        let triples = Two_pattern.simulate c17 (pairs_of v1 v3) in
-        if Two_pattern.satisfies triples reqs then found := true
-      end
-    done
-  done;
-  !found
+  Pdf_check.Oracle.brute_force_satisfiable c17 reqs
+
+let test_brute_force_partial_reqs_both_polarities () =
+  (* Requirement sets that leave components unconstrained ([X] in the
+     requirement), in both polarities: the brute-force witness must
+     exist and really satisfy the set. *)
+  let n10 = Option.get (Circuit.find_net c17 "N10") in
+  let n22 = Option.get (Circuit.find_net c17 "N22") in
+  List.iter
+    (fun (label, reqs) ->
+      match Pdf_check.Oracle.brute_force c17 reqs with
+      | None -> Alcotest.failf "%s: no witness found" label
+      | Some t ->
+        check Alcotest.bool
+          (Printf.sprintf "%s: witness satisfies" label)
+          true
+          (Pdf_core.Test_pair.satisfies c17 t reqs))
+    [
+      ("initial 0", [ (n10, Req.initial false) ]);
+      ("initial 1", [ (n10, Req.initial true) ]);
+      ("final 0", [ (n10, Req.final false) ]);
+      ("final 1", [ (n10, Req.final true) ]);
+      ("rising", [ (n10, Req.rising) ]);
+      ("falling", [ (n10, Req.falling) ]);
+      ( "mixed polarities",
+        [ (n10, Req.initial true); (n22, Req.final false) ] );
+      ( "opposite transitions",
+        [ (n10, Req.rising); (n22, Req.falling) ] );
+    ]
+
+let test_brute_force_unsatisfiable () =
+  (* A direct contradiction has no witness, whichever polarity is
+     pinned first. *)
+  let n10 = Option.get (Circuit.find_net c17 "N10") in
+  List.iter
+    (fun (label, reqs) ->
+      check Alcotest.bool label false
+        (Pdf_check.Oracle.brute_force_satisfiable c17 reqs))
+    [
+      ("0 and 1", [ (n10, Req.stable false); (n10, Req.stable true) ]);
+      ("1 and 0", [ (n10, Req.stable true); (n10, Req.stable false) ]);
+      ( "rise and fall",
+        [ (n10, Req.rising); (n10, Req.falling) ] );
+    ]
 
 let test_implication_soundness_c17 () =
   (* If implication reports a conflict, the requirements really are
@@ -299,6 +332,10 @@ let () =
         ] );
       ( "implication",
         [
+          Alcotest.test_case "brute-force witnesses, both polarities" `Quick
+            test_brute_force_partial_reqs_both_polarities;
+          Alcotest.test_case "brute-force unsatisfiable" `Quick
+            test_brute_force_unsatisfiable;
           Alcotest.test_case "soundness vs brute force (c17)" `Slow
             test_implication_soundness_c17;
           Alcotest.test_case "direct conflict" `Quick

@@ -281,12 +281,48 @@ let test_random_dag_validates () =
   done
 
 let test_random_dag_bad_params () =
-  Alcotest.check_raises "degenerate"
-    (Invalid_argument "Generators.random_dag: degenerate parameters")
-    (fun () ->
-      ignore
-        (Generators.random_dag ~name:"r" ~seed:0
-           { dag_params with Generators.num_pis = 1 }))
+  (* Each degenerate field is rejected up front with a message naming
+     the field, instead of looping or failing deep inside the builder. *)
+  List.iter
+    (fun (label, params, message) ->
+      Alcotest.check_raises label
+        (Invalid_argument ("Generators.random_dag: " ^ message))
+        (fun () -> ignore (Generators.random_dag ~name:"r" ~seed:0 params)))
+    [
+      ( "one pi", { dag_params with Generators.num_pis = 1 },
+        "num_pis must be >= 2 (got 1)" );
+      ( "zero pis", { dag_params with Generators.num_pis = 0 },
+        "num_pis must be >= 2 (got 0)" );
+      ( "zero gates", { dag_params with Generators.num_gates = 0 },
+        "num_gates must be >= 1 (got 0)" );
+      ( "window zero", { dag_params with Generators.window = 0 },
+        "window must be >= 2 (got 0)" );
+      ( "window one", { dag_params with Generators.window = 1 },
+        "window must be >= 2 (got 1)" );
+      ( "fanout zero", { dag_params with Generators.max_fanout = 0 },
+        "max_fanout must be >= 1 (got 0)" );
+      ( "reuse pct", { dag_params with Generators.reuse_pct = 101 },
+        "reuse_pct must be in 0..100 (got 101)" );
+      ( "restart pct", { dag_params with Generators.restart_pct = -1 },
+        "restart_pct must be in 0..100 (got -1)" );
+      ( "fanin3 pct", { dag_params with Generators.fanin3_pct = 200 },
+        "fanin3_pct must be in 0..100 (got 200)" );
+      ( "inverter pct", { dag_params with Generators.inverter_pct = -5 },
+        "inverter_pct must be in 0..100 (got -5)" );
+      ( "negative taps", { dag_params with Generators.po_taps = -1 },
+        "po_taps must be >= 0 (got -1)" );
+    ]
+
+let test_random_dag_boundary_params_ok () =
+  (* The smallest legal parameter set builds and validates. *)
+  let p =
+    { Generators.num_pis = 2; num_gates = 1; window = 2; max_fanout = 1;
+      reuse_pct = 0; restart_pct = 100; fanin3_pct = 0; inverter_pct = 0;
+      po_taps = 0 }
+  in
+  let c = Generators.random_dag ~name:"tiny" ~seed:3 p in
+  check Alcotest.(result unit string) "valid" (Ok ()) (Circuit.validate c);
+  check Alcotest.int "one gate" 1 (Circuit.num_gates c)
 
 (* ------------------------------------------------------------------ *)
 (* Profiles                                                             *)
@@ -356,6 +392,8 @@ let () =
           Alcotest.test_case "no dangling nets" `Quick test_random_dag_no_dangling;
           Alcotest.test_case "validates" `Quick test_random_dag_validates;
           Alcotest.test_case "bad params" `Quick test_random_dag_bad_params;
+          Alcotest.test_case "boundary params" `Quick
+            test_random_dag_boundary_params_ok;
         ] );
       ( "profiles",
         [
