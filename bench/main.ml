@@ -128,147 +128,24 @@ let () =
   print_string
     (Ablations.scaling ~seed scale ~n_p0s:[ 100; 200; 400 ] (profile "b09"))
 
-(* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks: one Test.make per table, measuring the    *)
-(* kernel that dominates the table's regeneration.                      *)
-(* ------------------------------------------------------------------ *)
-
-open Bechamel
-open Toolkit
-
-type setup = {
-  s27 : Pdf_circuit.Circuit.t;
-  big : Pdf_circuit.Circuit.t;
-  target_sets : Pdf_faults.Target_sets.t;
-  faults : Pdf_core.Fault_sim.prepared array;
-  engine : Pdf_core.Justify.t;
-  rng : Pdf_util.Rng.t;
-  test : Pdf_core.Test_pair.t;
-}
-
-let bench_setup =
-  lazy
-    (let s27 = Pdf_synth.Iscas.s27 () in
-     let profile =
-       match Profiles.find "s953" with Some p -> p | None -> assert false
-     in
-     let big = Profiles.circuit profile in
-     let model = Pdf_paths.Delay_model.lines big in
-     let target_sets =
-       Pdf_faults.Target_sets.build big model ~n_p:400 ~n_p0:50
-     in
-     let faults =
-       Pdf_core.Fault_sim.prepare big target_sets.Pdf_faults.Target_sets.p
-     in
-     let engine = Pdf_core.Justify.create big in
-     let rng = Pdf_util.Rng.create 99 in
-     let test =
-       match
-         Pdf_core.Justify.run engine ~rng
-           ~reqs:faults.(0).Pdf_core.Fault_sim.reqs
-       with
-       | Some t -> t
-       | None ->
-         Pdf_core.Test_pair.create
-           (Array.make big.Pdf_circuit.Circuit.num_pis false)
-           (Array.make big.Pdf_circuit.Circuit.num_pis false)
-     in
-     { s27; big; target_sets; faults; engine; rng; test })
-
-(* Table 4 kernel: one value-based secondary scan step — merge every
-   candidate's conditions against an accumulated requirement set. *)
-let delta_scan setup =
-  let acc = Hashtbl.create 64 in
-  List.iter
-    (fun (net, req) -> Hashtbl.replace acc net req)
-    setup.faults.(0).Pdf_core.Fault_sim.reqs;
-  Array.fold_left
-    (fun count (p : Pdf_core.Fault_sim.prepared) ->
-      let compatible =
-        List.for_all
-          (fun (net, req) ->
-            match Hashtbl.find_opt acc net with
-            | None -> true
-            | Some cur -> Option.is_some (Pdf_values.Req.merge cur req))
-          p.Pdf_core.Fault_sim.reqs
-      in
-      if compatible then count + 1 else count)
-    0 setup.faults
-
-let tests =
-  let s = bench_setup in
-  Test.make_grouped ~name:"tables"
-    [
-      (* Table 1: bounded enumeration on s27. *)
-      Test.make ~name:"t1_enumerate_s27"
-        (Staged.stage (fun () ->
-             let setup = Lazy.force s in
-             let model = Pdf_paths.Delay_model.lines setup.s27 in
-             Pdf_paths.Enumerate.enumerate ~mode:Pdf_paths.Enumerate.Simple
-               setup.s27 model ~max_paths:20));
-      (* Table 2: histogram construction over P. *)
-      Test.make ~name:"t2_histogram"
-        (Staged.stage (fun () ->
-             let setup = Lazy.force s in
-             Pdf_paths.Histogram.of_lengths
-               (List.map
-                  (fun (e : Pdf_faults.Target_sets.entry) ->
-                    e.Pdf_faults.Target_sets.length)
-                  setup.target_sets.Pdf_faults.Target_sets.p)));
-      (* Table 3: a single-fault justification (the basic ATPG kernel). *)
-      Test.make ~name:"t3_justify_one_fault"
-        (Staged.stage (fun () ->
-             let setup = Lazy.force s in
-             Pdf_core.Justify.run setup.engine ~rng:setup.rng
-               ~reqs:setup.faults.(0).Pdf_core.Fault_sim.reqs));
-      (* Table 4: value-based Delta scan over all candidates. *)
-      Test.make ~name:"t4_value_based_delta"
-        (Staged.stage (fun () -> delta_scan (Lazy.force s)));
-      (* Table 5: robust fault simulation of one test over P. *)
-      Test.make ~name:"t5_fault_sim_one_test"
-        (Staged.stage (fun () ->
-             let setup = Lazy.force s in
-             Pdf_core.Fault_sim.detected_by_test setup.big setup.test
-               setup.faults));
-      (* Table 6: two-pattern simulation (the enrichment inner loop). *)
-      Test.make ~name:"t6_two_pattern_sim"
-        (Staged.stage (fun () ->
-             let setup = Lazy.force s in
-             Pdf_core.Test_pair.simulate setup.big setup.test));
-      (* Table 7: the implication engine (undetectability + candidate
-         filtering, the run-time-ratio driver). *)
-      Test.make ~name:"t7_implication"
-        (Staged.stage (fun () ->
-             let setup = Lazy.force s in
-             Pdf_sim.Implication.infer setup.big
-               setup.faults.(0).Pdf_core.Fault_sim.reqs));
-    ]
+(* Micro-benchmarks: one kernel per table, measured by the shared
+   statistical harness (Pdf_obs.Bstat via the "kernels" suite of
+   Pdf_experiments.Benchmark — the same workloads `pdfatpg bench
+   --suite kernels` runs and gates in CI). *)
 
 let () =
-  hr "Bechamel micro-benchmarks (one per table kernel)";
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  hr "Micro-benchmarks (one kernel per table)";
+  let module Benchmark = Experiments.Benchmark in
+  let suite =
+    match Benchmark.find_suite "kernels" with
+    | Some s -> s
+    | None -> assert false
   in
-  let raw = Benchmark.all cfg instances tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  let report =
+    Span.with_ "kernels" (fun () ->
+        Benchmark.run_suite ~progress:Pdf_obs.Log.raw_line suite)
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name result acc ->
-        let cell =
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
-          | Some _ | None -> "(no estimate)"
-        in
-        (name, cell) :: acc)
-      results []
-    |> List.sort compare
-  in
-  List.iter (fun (name, cell) -> Printf.printf "%-32s %s\n" name cell) rows;
-  print_newline ()
+  Pdf_util.Table.print (Benchmark.to_table report)
 
 (* Phase profile of the whole suite (PDF_TRACE=1). *)
 let () =

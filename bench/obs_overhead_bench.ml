@@ -7,17 +7,24 @@
 
      overhead% = spans_fired x per_span_null_cost / wall_null x 100
 
-   where per_span_null_cost is measured by a tight microbenchmark of
-   Span.with_ under the Null sink (millions of iterations, so the figure
-   is stable), spans_fired is counted by an Emit sink during one
-   instrumented run, and wall_null is the wall-clock of the run with the
-   Null sink.  The tracing-on wall time is also recorded (informational:
-   it includes collector allocation, which only traced runs pay).
+   where per_span_null_cost is measured by a microbenchmark of
+   Span.with_ under the Null sink, spans_fired is counted by an Emit
+   sink during one instrumented run, and wall_null is the best
+   wall-clock of the run with the Null sink.  The tracing-on wall time
+   is also recorded (informational: it includes collector allocation,
+   which only traced runs pay).
+
+   All timing goes through Pdf_obs.Bstat (the shared statistical
+   harness) and the JSON result is a unified pdf-bench-report/1 file
+   (suite "obs_overhead"), so the report carries the same fingerprint,
+   GC and throughput fields as every other BENCH_*.json.
 
    Exits non-zero when the modelled Null-sink overhead exceeds
    --max-overhead percent (default 2%). *)
 
 module Span = Pdf_obs.Span
+module Bstat = Pdf_obs.Bstat
+module Benchmark = Pdf_experiments.Benchmark
 module Profiles = Pdf_synth.Profiles
 module Target_sets = Pdf_faults.Target_sets
 module Fault_sim = Pdf_core.Fault_sim
@@ -40,7 +47,7 @@ let () =
       ("--circuit", Arg.Set_string circuit_name, "Profile to run (default b09)");
       ("--n-p", Arg.Set_int n_p, "Fault budget N_P (default 400)");
       ("--n-p0", Arg.Set_int n_p0, "Threshold N_P0 (default 80)");
-      ("--repeat", Arg.Set_int repeat, "Timed repetitions, best-of (default 3)");
+      ("--repeat", Arg.Set_int repeat, "Timed repetitions (default 3)");
       ("--seed", Arg.Set_int seed, "ATPG seed (default 2002)");
       ("--out", Arg.Set_string out_path, "JSON result file");
       ( "--max-overhead",
@@ -52,10 +59,13 @@ let () =
 
 let () =
   let profile =
-    match Profiles.find !circuit_name with
-    | Some p -> p
-    | None ->
-      Printf.eprintf "unknown profile %s\n" !circuit_name;
+    match Benchmark.profiles_of_spec !circuit_name with
+    | Ok [ p ] -> p
+    | Ok _ ->
+      Printf.eprintf "exactly one --circuit expected\n";
+      exit 2
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
       exit 2
   in
   let c = Profiles.circuit profile in
@@ -68,48 +78,44 @@ let () =
   let workload () =
     ignore (Atpg.enrich c ~seed:!seed ~faults ~p0 ~p1 : Atpg.result)
   in
-  let best_of k f =
-    let best = ref infinity in
-    for _ = 1 to k do
-      let t0 = Unix.gettimeofday () in
-      f ();
-      best := Float.min !best (Unix.gettimeofday () -. t0)
-    done;
-    !best
-  in
-  (* 1. Wall time with the Null sink (the uninstrumented configuration). *)
+  (* 1. Wall time with the Null sink (the uninstrumented configuration);
+     the best sample stands in for the old best-of loop. *)
   Span.set_sink Span.Null;
-  let wall_null = best_of !repeat workload in
+  let null_meas =
+    Bstat.measure ~warmup:1 ~repeat:!repeat ~min_sample_s:0. workload
+  in
+  let null_stats = Bstat.summarize null_meas.Bstat.samples in
+  let wall_null = null_stats.Bstat.min_s in
   (* 2. Span count of one instrumented run. *)
   let spans = ref 0 in
   Span.set_sink (Span.Emit (fun _ -> incr spans));
   workload ();
   let spans = !spans in
   (* 3. Wall time with a real trace collector attached (informational). *)
-  let wall_trace =
-    best_of !repeat (fun () ->
+  Span.set_sink Span.Null;
+  let trace_meas =
+    Bstat.measure ~warmup:0 ~repeat:!repeat ~min_sample_s:0. (fun () ->
         let coll = Pdf_obs.Trace.collector () in
         Span.set_sink (Pdf_obs.Trace.sink coll);
-        workload ())
+        workload ();
+        Span.set_sink Span.Null)
   in
-  Span.set_sink Span.Null;
-  (* 4. Per-span cost of a Null-sink span site: time a tight loop of
-     wrapped calls against the same loop unwrapped.  [sink ()] keeps the
-     payload from being optimised away. *)
-  let iters = 2_000_000 in
+  let trace_stats = Bstat.summarize trace_meas.Bstat.samples in
+  let wall_trace = trace_stats.Bstat.min_s in
+  (* 4. Per-span cost of a Null-sink span site: a calibrated sample of
+     wrapped calls against the same payload unwrapped.  [sink ()] keeps
+     the payload from being optimised away. *)
   let tick = ref 0 in
   let payload () = if Span.sink () = Span.Null then incr tick in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to iters do
-    payload ()
-  done;
-  let plain = Unix.gettimeofday () -. t0 in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to iters do
-    Span.with_ "overhead-probe" payload
-  done;
-  let wrapped = Unix.gettimeofday () -. t0 in
-  let per_span = Float.max 0. ((wrapped -. plain) /. float_of_int iters) in
+  let site_cfg f = Bstat.measure ~warmup:1 ~repeat:5 ~min_sample_s:0.02 f in
+  let plain_meas = site_cfg payload in
+  let wrapped_meas = site_cfg (fun () -> Span.with_ "overhead-probe" payload) in
+  let plain_stats = Bstat.summarize plain_meas.Bstat.samples in
+  let wrapped_stats = Bstat.summarize wrapped_meas.Bstat.samples in
+  let per_span =
+    Float.max 0.
+      (wrapped_stats.Bstat.median_s -. plain_stats.Bstat.median_s)
+  in
   let modelled_pct =
     if wall_null > 0. then
       100. *. float_of_int spans *. per_span /. wall_null
@@ -119,19 +125,46 @@ let () =
     if wall_null > 0. then 100. *. (wall_trace -. wall_null) /. wall_null
     else 0.
   in
-  let json =
-    Printf.sprintf
-      "{\"circuit\":%S,\"n_p\":%d,\"n_p0\":%d,\"repeat\":%d,\n\
-      \ \"wall_null_s\":%.6f,\"wall_trace_s\":%.6f,\"spans\":%d,\n\
-      \ \"per_span_null_cost_s\":%.3e,\"null_overhead_model_pct\":%.4f,\n\
-      \ \"trace_on_overhead_pct\":%.2f,\"max_overhead_pct\":%.2f}\n"
-      !circuit_name !n_p !n_p0 !repeat wall_null wall_trace spans per_span
-      modelled_pct measured_pct !max_overhead
+  let case name units meas stats =
+    { Benchmark.r_case = name; r_units = units; r_meas = meas; r_stats = stats }
   in
-  let oc = open_out !out_path in
-  output_string oc json;
-  close_out oc;
-  print_string json;
+  let report =
+    {
+      Benchmark.suite = "obs_overhead";
+      fingerprint =
+        Pdf_obs.Fingerprint.capture ~bitsim:(Fault_sim.packed_enabled ()) ();
+      warmup = 1;
+      repeat = !repeat;
+      min_sample_s = 0.;
+      params =
+        {
+          Benchmark.circuits = [ profile ];
+          n_tests = 0;
+          n_p = !n_p;
+          n_p0 = !n_p0;
+          seed = !seed;
+        };
+      results =
+        [
+          case
+            (profile.Profiles.name ^ "/atpg_null_sink")
+            [ ("spans", float_of_int spans) ]
+            null_meas null_stats;
+          case
+            (profile.Profiles.name ^ "/atpg_trace_sink")
+            [ ("spans", float_of_int spans) ]
+            trace_meas trace_stats;
+          case "span_site/plain" [] plain_meas plain_stats;
+          case "span_site/null_wrapped" [] wrapped_meas wrapped_stats;
+        ];
+    }
+  in
+  Benchmark.write_report report !out_path;
+  Printf.printf
+    "wall_null %.6fs  wall_trace %.6fs  spans %d\n\
+     per_span_null_cost %.3es  modelled null overhead %.4f%%  \
+     trace-on overhead %.2f%%\n"
+    wall_null wall_trace spans per_span modelled_pct measured_pct;
   if modelled_pct > !max_overhead then begin
     Printf.eprintf
       "FAIL: modelled Null-sink overhead %.4f%% exceeds the %.2f%% budget\n"

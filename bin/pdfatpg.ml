@@ -1043,16 +1043,267 @@ let fuzz_cmd =
           $ time_budget_arg $ out_arg $ no_emit_flag $ replay_arg
           $ ledger_out_arg)
 
+let bench_cmd =
+  let suite_arg =
+    Arg.(value & opt (some string) None
+         & info [ "suite" ] ~docv:"NAME"
+             ~doc:"Benchmark suite to run (see $(b,--list)).")
+  in
+  let list_flag =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List the available suites and exit.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the report as JSON (unified pdf-bench-report/1 \
+                   schema: fingerprint, GC telemetry, throughput).")
+  in
+  let compare_arg =
+    Arg.(value & opt (some string) None
+         & info [ "compare" ] ~docv:"BASELINE"
+             ~doc:"Compare against a baseline report written by a previous \
+                   $(b,--out); exit 1 on a statistically significant \
+                   regression.")
+  in
+  let max_regress_arg =
+    Arg.(value & opt float 10.
+         & info [ "max-regress" ] ~docv:"PCT"
+             ~doc:"Minimum median slowdown (percent) that counts as a \
+                   regression; the slowdown must also clear the noise band \
+                   of the two runs.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 1
+         & info [ "warmup" ] ~docv:"N" ~doc:"Untimed warmup executions.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 10
+         & info [ "repeat" ] ~docv:"N" ~doc:"Timed repetitions per case.")
+  in
+  let min_sample_arg =
+    Arg.(value & opt float 0.05
+         & info [ "min-sample" ] ~docv:"SECONDS"
+             ~doc:"Auto-calibrate the inner loop so each sample lasts at \
+                   least this long (0 disables calibration).")
+  in
+  let circuits_arg =
+    Arg.(value & opt string ""
+         & info [ "circuits" ] ~docv:"NAMES"
+             ~doc:"Comma-separated profile names (default: the suite's \
+                   smoke set b03,b09,s641).")
+  in
+  let tests_arg =
+    Arg.(value & opt int Pdf_experiments.Benchmark.default_params
+                   .Pdf_experiments.Benchmark.n_tests
+         & info [ "tests" ] ~docv:"N"
+             ~doc:"Random two-pattern tests for simulation workloads.")
+  in
+  let bench_n_p_arg =
+    Arg.(value & opt int Pdf_experiments.Benchmark.default_params
+                   .Pdf_experiments.Benchmark.n_p
+         & info [ "n-p" ] ~docv:"N" ~doc:"Fault budget N_P.")
+  in
+  let bench_n_p0_arg =
+    Arg.(value & opt int Pdf_experiments.Benchmark.default_params
+                   .Pdf_experiments.Benchmark.n_p0
+         & info [ "n-p0" ] ~docv:"N" ~doc:"Primary-set threshold N_P0.")
+  in
+  let run () suite list out compare max_regress warmup repeat min_sample
+      circuits tests n_p n_p0 seed =
+    let module Benchmark = Pdf_experiments.Benchmark in
+    if list then begin
+      let t =
+        Pdf_util.Table.create
+          [ ("suite", Pdf_util.Table.Left);
+            ("description", Pdf_util.Table.Left) ]
+      in
+      List.iter
+        (fun s ->
+          Pdf_util.Table.add_row t
+            [ s.Benchmark.suite_name; s.Benchmark.suite_doc ])
+        Benchmark.suites;
+      Pdf_util.Table.print t
+    end
+    else begin
+      let suite =
+        match suite with
+        | None ->
+          Printf.eprintf
+            "pdfatpg: bench needs --suite NAME (try --list)\n";
+          exit 2
+        | Some name -> (
+          match Benchmark.find_suite name with
+          | Some s -> s
+          | None ->
+            Printf.eprintf
+              "pdfatpg: unknown suite %S (try --list)\n" name;
+            exit 2)
+      in
+      let circuits =
+        match Benchmark.profiles_of_spec circuits with
+        | Ok l -> l
+        | Error msg ->
+          Printf.eprintf "pdfatpg: %s\n" msg;
+          exit 2
+      in
+      let params =
+        {
+          Benchmark.circuits;
+          n_tests = tests;
+          n_p;
+          n_p0;
+          seed;
+        }
+      in
+      let report =
+        try
+          Benchmark.run_suite ~warmup ~repeat ~min_sample_s:min_sample
+            ~params ~progress:Log.raw_line suite
+        with Failure msg ->
+          Printf.eprintf "pdfatpg: bench: %s\n" msg;
+          exit 1
+      in
+      Printf.printf "suite %s on %s\n\n" report.Benchmark.suite
+        (Pdf_obs.Fingerprint.summary_line report.Benchmark.fingerprint);
+      Pdf_util.Table.print (Benchmark.to_table report);
+      (match out with
+      | None -> ()
+      | Some path ->
+        Benchmark.write_report report path;
+        Printf.printf "wrote %s\n" path);
+      match compare with
+      | None -> ()
+      | Some path -> (
+        match Pdf_obs.Json_text.parse_file path with
+        | Error msg ->
+          Printf.eprintf "pdfatpg: cannot read baseline %s: %s\n" path msg;
+          exit 2
+        | Ok baseline -> (
+          (* Surface environment drift: a slower median on a different
+             machine / engine / job count is drift, not a code
+             regression — the gate still fires, but the output says
+             what changed. *)
+          (match
+             Pdf_obs.Json_text.member "fingerprint" baseline
+           with
+          | Some fp ->
+            let field name to_s =
+              Option.map to_s (Pdf_obs.Json_text.member name fp)
+            in
+            let cur = report.Benchmark.fingerprint in
+            let note name base cur =
+              if base <> cur then
+                Printf.printf
+                  "note: fingerprint mismatch on %s (baseline %s, \
+                   current %s)\n"
+                  name base cur
+            in
+            let str v =
+              Option.value ~default:"?" (Pdf_obs.Json_text.to_str v)
+            in
+            let any v =
+              match v with
+              | Pdf_obs.Json_text.Bool b -> string_of_bool b
+              | Pdf_obs.Json_text.Num f -> Pdf_obs.Json_text.float f
+              | v -> str v
+            in
+            (match field "hostname" str with
+            | Some h -> note "hostname" h cur.Pdf_obs.Fingerprint.hostname
+            | None -> ());
+            (match field "bitsim" any with
+            | Some b ->
+              note "bitsim" b
+                (string_of_bool cur.Pdf_obs.Fingerprint.bitsim)
+            | None -> ());
+            (match field "jobs" any with
+            | Some j ->
+              note "jobs" j (string_of_int cur.Pdf_obs.Fingerprint.jobs)
+            | None -> ())
+          | None -> ());
+          match
+            Benchmark.compare_with_baseline ~max_regress_pct:max_regress
+              ~baseline report
+          with
+          | Error msg ->
+            Printf.eprintf "pdfatpg: %s\n" msg;
+            exit 2
+          | Ok cmp ->
+            Printf.printf "\ncompared against %s (max regress %.0f%%):\n\n"
+              path max_regress;
+            Pdf_util.Table.print (Benchmark.comparison_table cmp);
+            List.iter
+              (fun name ->
+                Printf.printf "note: baseline-only case skipped: %s\n" name)
+              cmp.Benchmark.only_in_baseline;
+            List.iter
+              (fun name ->
+                Printf.printf "note: no baseline for new case: %s\n" name)
+              cmp.Benchmark.only_in_current;
+            if cmp.Benchmark.regressions <> [] then begin
+              List.iter
+                (fun (d : Benchmark.delta) ->
+                  match d.Benchmark.verdict with
+                  | Pdf_obs.Bstat.Slower pct ->
+                    Printf.printf
+                      "REGRESSION: %s is %.1f%% slower than baseline \
+                       (%.3e s -> %.3e s, noise %.1f%%/%.1f%%)\n"
+                      d.Benchmark.d_case pct d.Benchmark.base_median_s
+                      d.Benchmark.cur_median_s d.Benchmark.base_noise_pct
+                      d.Benchmark.cur_noise_pct
+                  | _ -> ())
+                cmp.Benchmark.regressions;
+              exit 1
+            end
+            else Printf.printf "no significant regression\n"))
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run a statistical benchmark suite (warmup, calibrated \
+             repetitions, IQR outlier rejection, GC and throughput \
+             telemetry); write the unified BENCH JSON report and/or gate \
+             against a baseline (exit 1 on significant regression).")
+    Term.(const run $ obs_setup $ suite_arg $ list_flag $ out_arg
+          $ compare_arg $ max_regress_arg $ warmup_arg $ repeat_arg
+          $ min_sample_arg $ circuits_arg $ tests_arg $ bench_n_p_arg
+          $ bench_n_p0_arg $ seed_arg)
+
+let version_cmd =
+  let run () =
+    let fp =
+      Pdf_obs.Fingerprint.capture ~jobs:(Pdf_par.Pool.default_jobs ())
+        ~bitsim:(Fault_sim.packed_enabled ()) ()
+    in
+    let t =
+      Pdf_util.Table.create
+        [ ("field", Pdf_util.Table.Left); ("value", Pdf_util.Table.Left) ]
+    in
+    List.iter
+      (fun (k, v) -> Pdf_util.Table.add_row t [ k; v ])
+      (Pdf_obs.Fingerprint.to_table_lines fp);
+    Pdf_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:"Print the full environment fingerprint (library version, git \
+             revision, OCaml version, host, word size, jobs, simulation \
+             engine) — the same record every benchmark report embeds.")
+    Term.(const run $ obs_setup)
+
 let () =
   let doc = "Path delay fault test generation with multiple sets of target faults." in
-  let info = Cmd.info "pdfatpg" ~version:"1.0.0" ~doc in
+  let version =
+    Pdf_obs.Fingerprint.summary_line (Pdf_obs.Fingerprint.capture ())
+  in
+  let info = Cmd.info "pdfatpg" ~version ~doc in
   let group =
     Cmd.group info
       [
         profiles_cmd; info_cmd; paths_cmd; histogram_cmd; count_cmd;
         sta_cmd; atpg_cmd; enrich_cmd; faultsim_cmd; gen_cmd; timing_cmd;
         diagnose_cmd; tables_cmd; ablations_cmd; trace_cmd; explain_cmd;
-        report_cmd; fuzz_cmd;
+        report_cmd; fuzz_cmd; bench_cmd; version_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -1,0 +1,799 @@
+module Bstat = Pdf_obs.Bstat
+module Fingerprint = Pdf_obs.Fingerprint
+module Json = Pdf_obs.Json_text
+module Metrics = Pdf_obs.Metrics
+module Circuit = Pdf_circuit.Circuit
+module Profiles = Pdf_synth.Profiles
+module Delay_model = Pdf_paths.Delay_model
+module Enumerate = Pdf_paths.Enumerate
+module Target_sets = Pdf_faults.Target_sets
+module Fault_sim = Pdf_core.Fault_sim
+module Test_pair = Pdf_core.Test_pair
+module Justify = Pdf_core.Justify
+module Atpg = Pdf_core.Atpg
+module Ordering = Pdf_core.Ordering
+module Pool = Pdf_par.Pool
+
+type params = {
+  circuits : Profiles.t list;
+  n_tests : int;
+  n_p : int;
+  n_p0 : int;
+  seed : int;
+}
+
+let profile_exn name =
+  match Profiles.find name with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "unknown circuit profile %S" name)
+
+let default_params =
+  {
+    circuits = List.map profile_exn [ "b03"; "b09"; "s641" ];
+    n_tests = 126;
+    n_p = 400;
+    n_p0 = 80;
+    seed = 2002;
+  }
+
+let profiles_of_spec spec =
+  if String.trim spec = "" then Ok default_params.circuits
+  else
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        match Profiles.find (String.trim name) with
+        | Some p -> collect (p :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown circuit profile %S (see `pdfatpg profiles`)"
+               (String.trim name)))
+    in
+    collect [] (String.split_on_char ',' spec)
+
+type case = {
+  case_name : string;
+  units : (string * float) list;
+  thunk : unit -> unit;
+}
+
+type suite = {
+  suite_name : string;
+  suite_doc : string;
+  cases : params -> case list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared workload builders                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_tests c ~n ~seed =
+  let rng = Pdf_util.Rng.create seed in
+  List.init n (fun _ ->
+      let pat () =
+        Array.init c.Circuit.num_pis (fun _ -> Pdf_util.Rng.bool rng)
+      in
+      Test_pair.create (pat ()) (pat ()))
+
+type circuit_setup = {
+  cs_profile : Profiles.t;
+  cs_circuit : Circuit.t;
+  cs_faults : Fault_sim.prepared array;
+  cs_n0 : int;  (** |P0| *)
+  cs_tests : Test_pair.t list;
+}
+
+let circuit_setup params profile =
+  let c = Profiles.circuit profile in
+  let ts =
+    Target_sets.build c (Delay_model.lines c) ~n_p:params.n_p
+      ~n_p0:params.n_p0
+  in
+  let faults = Fault_sim.prepare c ts.Target_sets.p in
+  {
+    cs_profile = profile;
+    cs_circuit = c;
+    cs_faults = faults;
+    cs_n0 = List.length ts.Target_sets.p0;
+    cs_tests =
+      random_tests c ~n:params.n_tests
+        ~seed:(params.seed + Hashtbl.hash profile.Profiles.name);
+  }
+
+let word_batches n_tests = (n_tests + 62) / 63
+
+(* ------------------------------------------------------------------ *)
+(* Suites                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fault_sim_suite =
+  let cases params =
+    List.concat_map
+      (fun profile ->
+        let s = circuit_setup params profile in
+        let pool = Pool.default () in
+        let matrix packed () =
+          let prev = Fault_sim.packed_enabled () in
+          Fault_sim.set_packed packed;
+          Fun.protect
+            ~finally:(fun () -> Fault_sim.set_packed prev)
+            (fun () -> Fault_sim.detect_matrix ~pool s.cs_circuit s.cs_tests s.cs_faults)
+        in
+        (* Equivalence smoke: the packed engine must reproduce the scalar
+           reference cell for cell, whatever engine the timed cases then
+           run.  This keeps the hard-fail contract of the retired
+           standalone fault_sim_bench executable. *)
+        if matrix true () <> matrix false () then
+          failwith
+            (Printf.sprintf
+               "fault_sim suite: packed detection differs from scalar on %s"
+               profile.Profiles.name);
+        let n_faults = Array.length s.cs_faults in
+        let name kernel = profile.Profiles.name ^ "/" ^ kernel in
+        [
+          {
+            case_name = name "detect_matrix";
+            units =
+              [
+                ("faults", float_of_int n_faults);
+                ("tests", float_of_int params.n_tests);
+                ( "words",
+                  float_of_int
+                    (word_batches params.n_tests
+                    * Circuit.num_gates s.cs_circuit) );
+              ];
+            (* Ambient engine: packed unless PDF_BITSIM=0 — this is the
+               case the regression gate watches. *)
+            thunk =
+              (fun () ->
+                ignore
+                  (Fault_sim.detect_matrix ~pool s.cs_circuit s.cs_tests
+                     s.cs_faults
+                    : bool array array));
+          };
+          {
+            case_name = name "detect_matrix_scalar";
+            units =
+              [
+                ("faults", float_of_int n_faults);
+                ("tests", float_of_int params.n_tests);
+              ];
+            thunk = (fun () -> ignore (matrix false () : bool array array));
+          };
+          {
+            case_name = name "detected_by_tests";
+            units =
+              [
+                ("faults", float_of_int n_faults);
+                ("tests", float_of_int params.n_tests);
+              ];
+            thunk =
+              (fun () ->
+                ignore
+                  (Fault_sim.detected_by_tests ~pool s.cs_circuit s.cs_tests
+                     s.cs_faults
+                    : bool array));
+          };
+        ])
+      params.circuits
+  in
+  {
+    suite_name = "fault_sim";
+    suite_doc =
+      "Fault-simulation kernels: detection matrix and test-set union, \
+       ambient engine plus the scalar reference (hard-fails when the \
+       engines disagree)";
+    cases;
+  }
+
+let atpg_suite =
+  let cases params =
+    List.concat_map
+      (fun profile ->
+        let s = circuit_setup params profile in
+        let name kernel = profile.Profiles.name ^ "/" ^ kernel in
+        let faults0 = Array.sub s.cs_faults 0 s.cs_n0 in
+        let p0 = List.init s.cs_n0 Fun.id in
+        let p1 =
+          List.init (Array.length s.cs_faults - s.cs_n0) (fun i ->
+              s.cs_n0 + i)
+        in
+        (* One untimed run of each generator learns the test count, so
+           the throughput units are exact (the run is deterministic). *)
+        let basic () =
+          Atpg.basic s.cs_circuit
+            { Atpg.ordering = Ordering.Value_based; seed = params.seed }
+            ~faults:faults0
+        in
+        let enrich () =
+          Atpg.enrich s.cs_circuit ~seed:params.seed ~faults:s.cs_faults ~p0
+            ~p1
+        in
+        let basic_tests = List.length (basic ()).Atpg.tests in
+        let enrich_tests = List.length (enrich ()).Atpg.tests in
+        [
+          {
+            case_name = name "basic_values";
+            units =
+              [
+                ("tests", float_of_int basic_tests);
+                ("faults", float_of_int s.cs_n0);
+              ];
+            thunk = (fun () -> ignore (basic () : Atpg.result));
+          };
+          {
+            case_name = name "enrich";
+            units =
+              [
+                ("tests", float_of_int enrich_tests);
+                ("faults", float_of_int (Array.length s.cs_faults));
+              ];
+            thunk = (fun () -> ignore (enrich () : Atpg.result));
+          };
+        ])
+      params.circuits
+  in
+  {
+    suite_name = "atpg";
+    suite_doc =
+      "Test generation: the basic value-ordered procedure over P0 and \
+       the full P0 u P1 enrichment run";
+    cases;
+  }
+
+let paths_suite =
+  let cases params =
+    List.map
+      (fun profile ->
+        let c = Profiles.circuit profile in
+        let model = Delay_model.lines c in
+        let probe =
+          Enumerate.enumerate ~mode:Enumerate.Distance_pruned c model
+            ~max_paths:params.n_p
+        in
+        {
+          case_name = profile.Profiles.name ^ "/enumerate";
+          units =
+            [
+              ("paths", float_of_int (List.length probe.Enumerate.paths));
+              ("steps", float_of_int probe.Enumerate.steps);
+            ];
+          thunk =
+            (fun () ->
+              ignore
+                (Enumerate.enumerate ~mode:Enumerate.Distance_pruned c model
+                   ~max_paths:params.n_p
+                  : Enumerate.result));
+        })
+      params.circuits
+  in
+  {
+    suite_name = "paths";
+    suite_doc = "Distance-pruned longest-path enumeration at budget N_P";
+    cases;
+  }
+
+let justify_suite =
+  let cases params =
+    List.concat_map
+      (fun profile ->
+        let s = circuit_setup params profile in
+        let name kernel = profile.Profiles.name ^ "/" ^ kernel in
+        let engine = Justify.create s.cs_circuit in
+        let k_sim = min 20 (Array.length s.cs_faults) in
+        let k_complete = min 10 (Array.length s.cs_faults) in
+        [
+          {
+            case_name = name "simulation";
+            units = [ ("runs", float_of_int k_sim) ];
+            thunk =
+              (fun () ->
+                (* A fresh seeded RNG per execution keeps every sample on
+                   the same decision sequence. *)
+                let rng = Pdf_util.Rng.create params.seed in
+                for i = 0 to k_sim - 1 do
+                  ignore
+                    (Justify.run engine ~rng
+                       ~reqs:s.cs_faults.(i).Fault_sim.reqs
+                      : Test_pair.t option)
+                done);
+          };
+          {
+            case_name = name "complete";
+            units = [ ("runs", float_of_int k_complete) ];
+            thunk =
+              (fun () ->
+                for i = 0 to k_complete - 1 do
+                  ignore
+                    (Justify.run_complete ~max_backtracks:2000 engine
+                       ~reqs:s.cs_faults.(i).Fault_sim.reqs
+                      : Justify.complete_outcome)
+                done);
+          };
+        ])
+      params.circuits
+  in
+  {
+    suite_name = "justify";
+    suite_doc =
+      "Justification engines: the simulation-based search and the \
+       branch-and-bound complete search over the longest faults";
+    cases;
+  }
+
+(* The seven per-table kernels that used to live as Bechamel
+   micro-benchmarks in bench/main.ml (one per paper table). *)
+let kernels_suite =
+  let cases params =
+    let s27 = Pdf_synth.Iscas.s27 () in
+    let big = Profiles.circuit (profile_exn "s953") in
+    let model = Delay_model.lines big in
+    let target_sets = Target_sets.build big model ~n_p:params.n_p ~n_p0:50 in
+    let faults = Fault_sim.prepare big target_sets.Target_sets.p in
+    let engine = Justify.create big in
+    let rng = Pdf_util.Rng.create 99 in
+    let test =
+      match Justify.run engine ~rng ~reqs:faults.(0).Fault_sim.reqs with
+      | Some t -> t
+      | None ->
+        Test_pair.create
+          (Array.make big.Circuit.num_pis false)
+          (Array.make big.Circuit.num_pis false)
+    in
+    (* Table 4 kernel: one value-based secondary scan step — merge every
+       candidate's conditions against an accumulated requirement set. *)
+    let delta_scan () =
+      let acc = Hashtbl.create 64 in
+      List.iter
+        (fun (net, req) -> Hashtbl.replace acc net req)
+        faults.(0).Fault_sim.reqs;
+      Array.fold_left
+        (fun count (p : Fault_sim.prepared) ->
+          let compatible =
+            List.for_all
+              (fun (net, req) ->
+                match Hashtbl.find_opt acc net with
+                | None -> true
+                | Some cur -> Option.is_some (Pdf_values.Req.merge cur req))
+              p.Fault_sim.reqs
+          in
+          if compatible then count + 1 else count)
+        0 faults
+    in
+    [
+      (* Table 1: bounded enumeration on s27. *)
+      {
+        case_name = "t1_enumerate_s27";
+        units = [];
+        thunk =
+          (fun () ->
+            let model = Delay_model.lines s27 in
+            ignore
+              (Enumerate.enumerate ~mode:Enumerate.Simple s27 model
+                 ~max_paths:20
+                : Enumerate.result));
+      };
+      (* Table 2: histogram construction over P. *)
+      {
+        case_name = "t2_histogram";
+        units = [];
+        thunk =
+          (fun () ->
+            ignore
+              (Pdf_paths.Histogram.of_lengths
+                 (List.map
+                    (fun (e : Target_sets.entry) -> e.Target_sets.length)
+                    target_sets.Target_sets.p)
+                : Pdf_paths.Histogram.t));
+      };
+      (* Table 3: a single-fault justification (the basic ATPG kernel). *)
+      {
+        case_name = "t3_justify_one_fault";
+        units = [];
+        thunk =
+          (fun () ->
+            ignore
+              (Justify.run engine ~rng ~reqs:faults.(0).Fault_sim.reqs
+                : Test_pair.t option));
+      };
+      (* Table 4: value-based Delta scan over all candidates. *)
+      {
+        case_name = "t4_value_based_delta";
+        units = [ ("faults", float_of_int (Array.length faults)) ];
+        thunk = (fun () -> ignore (delta_scan () : int));
+      };
+      (* Table 5: robust fault simulation of one test over P. *)
+      {
+        case_name = "t5_fault_sim_one_test";
+        units = [ ("faults", float_of_int (Array.length faults)) ];
+        thunk =
+          (fun () ->
+            ignore (Fault_sim.detected_by_test big test faults : bool array));
+      };
+      (* Table 6: two-pattern simulation (the enrichment inner loop). *)
+      {
+        case_name = "t6_two_pattern_sim";
+        units = [];
+        thunk =
+          (fun () ->
+            ignore
+              (Test_pair.simulate big test : Pdf_values.Triple.t array));
+      };
+      (* Table 7: the implication engine (undetectability + candidate
+         filtering, the run-time-ratio driver). *)
+      {
+        case_name = "t7_implication";
+        units = [];
+        thunk =
+          (fun () ->
+            ignore (Pdf_sim.Implication.infer big faults.(0).Fault_sim.reqs));
+      };
+    ]
+  in
+  {
+    suite_name = "kernels";
+    suite_doc =
+      "One micro-kernel per paper table (the former Bechamel benchmarks \
+       of bench/main.exe)";
+    cases;
+  }
+
+let suites =
+  [ fault_sim_suite; atpg_suite; paths_suite; justify_suite; kernels_suite ]
+
+let find_suite name =
+  List.find_opt (fun s -> s.suite_name = name) suites
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  r_case : string;
+  r_units : (string * float) list;
+  r_meas : Bstat.measurement;
+  r_stats : Bstat.summary;
+}
+
+let throughput r =
+  if r.r_stats.Bstat.median_s <= 0. then []
+  else
+    List.map
+      (fun (unit, work) ->
+        (unit ^ "_per_s", work /. r.r_stats.Bstat.median_s))
+      r.r_units
+
+type report = {
+  suite : string;
+  fingerprint : Fingerprint.t;
+  warmup : int;
+  repeat : int;
+  min_sample_s : float;
+  params : params;
+  results : result list;
+}
+
+let export_gauges report =
+  List.iter
+    (fun r ->
+      let set field v =
+        Metrics.set
+          (Metrics.gauge
+             (Printf.sprintf "bench.%s.%s.%s" report.suite r.r_case field))
+          v
+      in
+      set "median_s" r.r_stats.Bstat.median_s;
+      set "minor_collections"
+        (float_of_int r.r_meas.Bstat.gc.Bstat.minor_collections);
+      set "major_collections"
+        (float_of_int r.r_meas.Bstat.gc.Bstat.major_collections);
+      set "promoted_words" r.r_meas.Bstat.gc.Bstat.promoted_words;
+      List.iter (fun (unit, v) -> set unit v) (throughput r))
+    report.results
+
+let run_suite ?(warmup = 1) ?(repeat = 5) ?(min_sample_s = 0.01)
+    ?(params = default_params) ?(progress = ignore) suite =
+  let results =
+    List.map
+      (fun case ->
+        let meas =
+          Bstat.measure ~warmup ~repeat ~min_sample_s case.thunk
+        in
+        let stats = Bstat.summarize meas.Bstat.samples in
+        progress
+          (Printf.sprintf "%-40s median %.3e s  (noise %.1f%%, x%d)"
+             case.case_name stats.Bstat.median_s (Bstat.noise_pct stats)
+             meas.Bstat.iters);
+        {
+          r_case = case.case_name;
+          r_units = case.units;
+          r_meas = meas;
+          r_stats = stats;
+        })
+      (suite.cases params)
+  in
+  let report =
+    {
+      suite = suite.suite_name;
+      fingerprint =
+        Fingerprint.capture ~jobs:(Pool.default_jobs ())
+          ~bitsim:(Fault_sim.packed_enabled ()) ();
+      warmup;
+      repeat;
+      min_sample_s;
+      params;
+      results;
+    }
+  in
+  export_gauges report;
+  report
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let schema_id = "pdf-bench-report/1"
+
+let to_json report =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"schema\": %s,\n" (Json.quote schema_id);
+  Printf.bprintf b "  \"suite\": %s,\n" (Json.quote report.suite);
+  Printf.bprintf b "  \"fingerprint\": %s,\n"
+    (Fingerprint.to_json report.fingerprint);
+  Printf.bprintf b
+    "  \"config\": {\"warmup\": %d, \"repeat\": %d, \"min_sample_s\": %s, \
+     \"seed\": %d, \"n_p\": %d, \"n_p0\": %d, \"tests\": %d, \
+     \"circuits\": [%s]},\n"
+    report.warmup report.repeat
+    (Json.float report.min_sample_s)
+    report.params.seed report.params.n_p report.params.n_p0
+    report.params.n_tests
+    (String.concat ", "
+       (List.map
+          (fun p -> Json.quote p.Profiles.name)
+          report.params.circuits));
+  Buffer.add_string b "  \"cases\": [\n";
+  let n_results = List.length report.results in
+  List.iteri
+    (fun i r ->
+      let kv_floats pairs =
+        String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s: %s" (Json.quote k) (Json.float v))
+             pairs)
+      in
+      Printf.bprintf b "    {\"name\": %s,\n" (Json.quote r.r_case);
+      Printf.bprintf b "     \"units\": {%s},\n" (kv_floats r.r_units);
+      Printf.bprintf b "     \"iters\": %d, \"samples\": [%s],\n"
+        r.r_meas.Bstat.iters
+        (String.concat ", "
+           (Array.to_list (Array.map Json.float r.r_meas.Bstat.samples)));
+      let s = r.r_stats in
+      Printf.bprintf b
+        "     \"n\": %d, \"outliers\": %d, \"median_s\": %s, \"mean_s\": %s, \
+         \"min_s\": %s, \"max_s\": %s, \"stddev_s\": %s, \"q1_s\": %s, \
+         \"q3_s\": %s, \"iqr_s\": %s,\n"
+        s.Bstat.n_raw s.Bstat.outliers
+        (Json.float s.Bstat.median_s)
+        (Json.float s.Bstat.mean_s) (Json.float s.Bstat.min_s)
+        (Json.float s.Bstat.max_s)
+        (Json.float s.Bstat.stddev_s)
+        (Json.float s.Bstat.q1_s) (Json.float s.Bstat.q3_s)
+        (Json.float s.Bstat.iqr_s);
+      let gc = r.r_meas.Bstat.gc in
+      Printf.bprintf b
+        "     \"gc\": {\"minor_collections\": %d, \"major_collections\": %d, \
+         \"promoted_words\": %s, \"top_heap_words\": %d},\n"
+        gc.Bstat.minor_collections gc.Bstat.major_collections
+        (Json.float gc.Bstat.promoted_words)
+        gc.Bstat.top_heap_words;
+      Printf.bprintf b "     \"throughput\": {%s}}%s\n"
+        (kv_floats (throughput r))
+        (if i = n_results - 1 then "" else ","))
+    report.results;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_report report path =
+  let oc = open_out path in
+  output_string oc (to_json report);
+  close_out oc
+
+let to_table report =
+  let t =
+    Pdf_util.Table.create
+      [
+        ("case", Pdf_util.Table.Left); ("median", Pdf_util.Table.Right);
+        ("noise %", Pdf_util.Table.Right); ("iters", Pdf_util.Table.Right);
+        ("outliers", Pdf_util.Table.Right);
+        ("gc min/maj", Pdf_util.Table.Right);
+        ("throughput", Pdf_util.Table.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let tp =
+        String.concat " "
+          (List.map
+             (fun (unit, v) -> Printf.sprintf "%s=%.3g" unit v)
+             (throughput r))
+      in
+      Pdf_util.Table.add_row t
+        [
+          r.r_case;
+          Printf.sprintf "%.3e s" r.r_stats.Bstat.median_s;
+          Printf.sprintf "%.1f" (Bstat.noise_pct r.r_stats);
+          string_of_int r.r_meas.Bstat.iters;
+          string_of_int r.r_stats.Bstat.outliers;
+          Printf.sprintf "%d/%d" r.r_meas.Bstat.gc.Bstat.minor_collections
+            r.r_meas.Bstat.gc.Bstat.major_collections;
+          tp;
+        ])
+    report.results;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Determinism projection and baseline comparison                      *)
+(* ------------------------------------------------------------------ *)
+
+let timing_fields =
+  [
+    "iters"; "samples"; "n"; "outliers"; "median_s"; "mean_s"; "min_s";
+    "max_s"; "stddev_s"; "q1_s"; "q3_s"; "iqr_s"; "gc"; "throughput";
+  ]
+
+let rec comparable_projection (v : Json.v) =
+  match v with
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if List.mem k timing_fields then None
+           else Some (k, comparable_projection v))
+         fields)
+  | Json.Arr items -> Json.Arr (List.map comparable_projection items)
+  | other -> other
+
+type delta = {
+  d_case : string;
+  base_median_s : float;
+  cur_median_s : float;
+  base_noise_pct : float;
+  cur_noise_pct : float;
+  verdict : Bstat.verdict;
+}
+
+type comparison = {
+  deltas : delta list;
+  only_in_baseline : string list;
+  only_in_current : string list;
+  regressions : delta list;
+}
+
+(* Rebuild just enough of a [Bstat.summary] from a parsed case for the
+   median comparator: median and IQR drive the verdict, the rest is
+   carried for display. *)
+let summary_of_case obj =
+  let num field = Option.bind (Json.member field obj) Json.to_num in
+  match (num "median_s", num "iqr_s") with
+  | Some median, Some iqr ->
+    Some
+      {
+        Bstat.n_raw =
+          (match num "n" with Some n -> int_of_float n | None -> 0);
+        outliers =
+          (match num "outliers" with Some n -> int_of_float n | None -> 0);
+        mean_s = Option.value ~default:median (num "mean_s");
+        median_s = median;
+        min_s = Option.value ~default:median (num "min_s");
+        max_s = Option.value ~default:median (num "max_s");
+        stddev_s = Option.value ~default:0. (num "stddev_s");
+        q1_s = Option.value ~default:median (num "q1_s");
+        q3_s = Option.value ~default:median (num "q3_s");
+        iqr_s = iqr;
+      }
+  | _ -> None
+
+let compare_with_baseline ~max_regress_pct ~baseline report =
+  match Json.member "cases" baseline with
+  | None -> Error "baseline: no \"cases\" field (not a pdf-bench-report?)"
+  | Some (Json.Arr base_cases) -> (
+    let base_by_name =
+      List.filter_map
+        (fun case ->
+          match
+            (Option.bind (Json.member "name" case) Json.to_str,
+             summary_of_case case)
+          with
+          | Some name, Some summary -> Some (name, summary)
+          | _ -> None)
+        base_cases
+    in
+    match base_by_name with
+    | [] -> Error "baseline: no parsable cases"
+    | _ ->
+      let deltas =
+        List.filter_map
+          (fun r ->
+            match List.assoc_opt r.r_case base_by_name with
+            | None -> None
+            | Some base ->
+              Some
+                {
+                  d_case = r.r_case;
+                  base_median_s = base.Bstat.median_s;
+                  cur_median_s = r.r_stats.Bstat.median_s;
+                  base_noise_pct = Bstat.noise_pct base;
+                  cur_noise_pct = Bstat.noise_pct r.r_stats;
+                  verdict =
+                    (* A median slowdown must be confirmed by the
+                       best-case sample before it counts: transient
+                       machine load inflates medians but almost never
+                       every sample of a run, so an unconfirmed Slower
+                       is indistinguishable from between-run noise and
+                       is downgraded to Same. *)
+                    (match
+                       Bstat.compare_medians ~min_effect_pct:max_regress_pct
+                         ~baseline:base ~current:r.r_stats ()
+                     with
+                    | Bstat.Slower _
+                      when base.Bstat.min_s > 0.
+                           && 100.
+                              *. (r.r_stats.Bstat.min_s -. base.Bstat.min_s)
+                              /. base.Bstat.min_s
+                              <= max_regress_pct -> Bstat.Same
+                    | v -> v);
+                })
+          report.results
+      in
+      let current_names = List.map (fun r -> r.r_case) report.results in
+      Ok
+        {
+          deltas;
+          only_in_baseline =
+            List.filter_map
+              (fun (name, _) ->
+                if List.mem name current_names then None else Some name)
+              base_by_name;
+          only_in_current =
+            List.filter
+              (fun name ->
+                not (List.mem_assoc name base_by_name))
+              current_names;
+          regressions =
+            List.filter
+              (fun d ->
+                match d.verdict with Bstat.Slower _ -> true | _ -> false)
+              deltas;
+        })
+  | Some _ -> Error "baseline: \"cases\" is not an array"
+
+let comparison_table cmp =
+  let t =
+    Pdf_util.Table.create
+      [
+        ("case", Pdf_util.Table.Left); ("baseline", Pdf_util.Table.Right);
+        ("current", Pdf_util.Table.Right); ("change", Pdf_util.Table.Right);
+        ("verdict", Pdf_util.Table.Left);
+      ]
+  in
+  List.iter
+    (fun d ->
+      let change =
+        if d.base_median_s = 0. then "n/a"
+        else
+          Printf.sprintf "%+.1f%%"
+            (100. *. (d.cur_median_s -. d.base_median_s) /. d.base_median_s)
+      in
+      Pdf_util.Table.add_row t
+        [
+          d.d_case;
+          Printf.sprintf "%.3e s" d.base_median_s;
+          Printf.sprintf "%.3e s" d.cur_median_s;
+          change;
+          Bstat.verdict_to_string d.verdict;
+        ])
+    cmp.deltas;
+  t

@@ -1,0 +1,139 @@
+type gc_delta = {
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : float;
+  top_heap_words : int;
+}
+
+type measurement = {
+  samples : float array;
+  iters : int;
+  gc : gc_delta;
+}
+
+let max_calibrated_iters = 10_000
+
+let measure ?(warmup = 1) ?(repeat = 5) ?(min_sample_s = 0.01) f =
+  if repeat < 1 then invalid_arg "Bstat.measure: repeat < 1";
+  if warmup < 0 then invalid_arg "Bstat.measure: warmup < 0";
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let iters =
+    if min_sample_s <= 0. then 1
+    else begin
+      (* One probe execution sizes the inner loop; it doubles as a last
+         warmup run.  A probe too fast for the clock (t = 0) maxes the
+         loop out. *)
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let t = Unix.gettimeofday () -. t0 in
+      if t <= 0. then max_calibrated_iters
+      else max 1 (min max_calibrated_iters (int_of_float (ceil (min_sample_s /. t))))
+    end
+  in
+  let g0 = Gc.quick_stat () in
+  let samples =
+    Array.init repeat (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int iters)
+  in
+  let g1 = Gc.quick_stat () in
+  {
+    samples;
+    iters;
+    gc =
+      {
+        minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+        major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+        promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        top_heap_words = g1.Gc.top_heap_words;
+      };
+  }
+
+type summary = {
+  n_raw : int;
+  outliers : int;
+  mean_s : float;
+  median_s : float;
+  min_s : float;
+  max_s : float;
+  stddev_s : float;
+  q1_s : float;
+  q3_s : float;
+  iqr_s : float;
+}
+
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Bstat.quantile: empty array";
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize samples =
+  let n_raw = Array.length samples in
+  if n_raw = 0 then invalid_arg "Bstat.summarize: empty sample vector";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let q1 = quantile sorted 0.25 and q3 = quantile sorted 0.75 in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let kept =
+    Array.of_list
+      (List.filter
+         (fun s -> s >= lo_fence && s <= hi_fence)
+         (Array.to_list sorted))
+  in
+  (* The fences always retain the quartiles themselves, so [kept] is
+     never empty. *)
+  let n = Array.length kept in
+  let mean = Array.fold_left ( +. ) 0. kept /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc s -> acc +. ((s -. mean) ** 2.)) 0. kept
+    /. float_of_int n
+  in
+  {
+    n_raw;
+    outliers = n_raw - n;
+    mean_s = mean;
+    median_s = quantile kept 0.5;
+    min_s = kept.(0);
+    max_s = kept.(n - 1);
+    stddev_s = sqrt var;
+    q1_s = quantile kept 0.25;
+    q3_s = quantile kept 0.75;
+    iqr_s = quantile kept 0.75 -. quantile kept 0.25;
+  }
+
+let noise_pct s = if s.median_s = 0. then 0. else 100. *. s.iqr_s /. s.median_s
+
+type verdict =
+  | Same
+  | Faster of float
+  | Slower of float
+
+let compare_medians ?(min_effect_pct = 5.) ~baseline ~current () =
+  if baseline.median_s = 0. then Same
+  else begin
+    let shift =
+      100. *. (current.median_s -. baseline.median_s) /. baseline.median_s
+    in
+    let noise = Float.max (noise_pct baseline) (noise_pct current) in
+    if Float.abs shift <= Float.max min_effect_pct noise then Same
+    else if shift > 0. then Slower shift
+    else Faster (-.shift)
+  end
+
+let verdict_to_string = function
+  | Same -> "same"
+  | Faster pct -> Printf.sprintf "faster (%.1f%%)" pct
+  | Slower pct -> Printf.sprintf "SLOWER (%.1f%%)" pct

@@ -1,0 +1,100 @@
+(** Statistical benchmarking core (DESIGN.md §11).
+
+    Three concerns, deliberately separated from any workload knowledge:
+
+    - {b measurement} — {!measure} runs a thunk [warmup] times untimed,
+      auto-calibrates an inner iteration count so each sample lasts at
+      least [min_sample_s], then records [repeat] wall-clock samples and
+      the GC activity of the timed region;
+    - {b summary} — {!summarize} reduces a sample vector to
+      median/mean/min/max/stddev and quartiles, after rejecting
+      outliers outside the Tukey fences [q1 - 1.5*IQR, q3 + 1.5*IQR];
+    - {b comparison} — {!compare_medians} is the noise-aware
+      changed-vs-same verdict CI regression gates are built on: a median
+      shift only counts when it clears both the configured minimum
+      effect and the noise band of the two sample sets. *)
+
+(** GC activity across the timed repetitions (deltas of
+    [Gc.quick_stat], whole-process; [top_heap_words] is the high-water
+    mark at the end of the measurement, not a delta). *)
+type gc_delta = {
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : float;
+  top_heap_words : int;
+}
+
+type measurement = {
+  samples : float array;
+      (** seconds per single execution of the thunk, one per repetition
+          (each sample is an inner-loop average when calibration chose
+          [iters > 1]) *)
+  iters : int;  (** executions per sample chosen by calibration *)
+  gc : gc_delta;  (** GC activity summed over all timed executions *)
+}
+
+val measure :
+  ?warmup:int ->
+  ?repeat:int ->
+  ?min_sample_s:float ->
+  (unit -> unit) ->
+  measurement
+(** Defaults: [warmup = 1], [repeat = 5], [min_sample_s = 0.01].
+    Calibration runs the thunk once more (untimed) to size the inner
+    loop as [ceil (min_sample_s / t)], capped at [10_000]; pass
+    [min_sample_s = 0.] to force one execution per sample.  Raises
+    [Invalid_argument] when [repeat < 1] or [warmup < 0]. *)
+
+(** Summary statistics of one sample vector.  All figures except [n_raw]
+    and [outliers] are computed on the samples that survive the Tukey
+    fence. *)
+type summary = {
+  n_raw : int;  (** samples before outlier rejection *)
+  outliers : int;  (** samples outside [q1 - 1.5*IQR, q3 + 1.5*IQR] *)
+  mean_s : float;
+  median_s : float;
+  min_s : float;
+  max_s : float;
+  stddev_s : float;  (** population standard deviation *)
+  q1_s : float;
+  q3_s : float;
+  iqr_s : float;  (** [q3_s - q1_s] *)
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty vector.  The input is not
+    mutated.  Quartiles use linear interpolation; the fences are
+    computed on the raw vector, the remaining statistics on the
+    retained samples. *)
+
+val quantile : float array -> float -> float
+(** [quantile sorted p] with [p] in [[0, 1]], linear interpolation
+    between order statistics.  The array must be sorted ascending. *)
+
+val noise_pct : summary -> float
+(** Relative noise of a sample set: [100 * iqr_s / median_s] ([0] when
+    the median is [0]).  This is the half-width of the band inside which
+    a median shift is indistinguishable from run-to-run jitter. *)
+
+type verdict =
+  | Same
+  | Faster of float  (** median improved by this percentage *)
+  | Slower of float  (** median regressed by this percentage *)
+
+val compare_medians :
+  ?min_effect_pct:float ->
+  baseline:summary ->
+  current:summary ->
+  unit ->
+  verdict
+(** Noise-aware comparison.  Let [shift = 100 * (current.median_s -
+    baseline.median_s) / baseline.median_s].  The verdict is {!Same}
+    unless [|shift|] exceeds {e both} [min_effect_pct] (default [5.])
+    and the larger of the two sets' {!noise_pct} — so a noisy pair of
+    runs needs a proportionally larger shift before it counts as a
+    change, and a quiet pair still needs a material effect.  A zero
+    baseline median compares as {!Same} (nothing meaningful to gate
+    on). *)
+
+val verdict_to_string : verdict -> string
+(** ["same"], ["faster (12.3%)"], ["SLOWER (12.3%)"]. *)

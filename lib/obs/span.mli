@@ -3,8 +3,20 @@
     [with_ name f] runs [f] inside a named span.  Spans nest; each
     completed span is delivered to the installed {!sink} as a {!record}
     carrying its inclusive wall time, its self time (inclusive minus the
-    time spent in child spans) and the words it allocated
-    ({!Gc.quick_stat}).
+    time spent in child spans) and the words it allocated.
+
+    {b Allocation accounting is per-domain.}  [alloc_words] is the delta
+    of [Gc.minor_words] — the {e closing domain's own} minor-heap
+    allocation counter — between span open and close.  A span that fans
+    work out to a {!Pdf_par.Pool} therefore reports only what its own
+    domain allocated while waiting (plus any queued tasks the submitting
+    domain executed itself); allocation performed by worker domains is
+    attributed to the spans {e those} domains open, never to the parent.
+    [Gc.quick_stat]'s word counters are unsuitable here: they are global
+    accumulators that other domains fold into on every collection, so a
+    cross-domain span would be charged with the whole pool's allocation.
+    Blocks exceeding the minor-heap allocation threshold go straight to
+    the major heap and are not counted.  The delta is clamped at [0].
 
     The default sink is {!Null}: a span then costs a single match on the
     sink reference, so instrumented hot paths are essentially free when
@@ -17,7 +29,10 @@ type record = {
   start_s : float;  (** seconds from the process {!epoch} to span open *)
   wall_s : float;  (** inclusive wall-clock seconds *)
   self_s : float;  (** [wall_s] minus the time spent in child spans *)
-  alloc_words : float;  (** words allocated while the span was open *)
+  alloc_words : float;
+      (** minor-heap words the {e closing domain} allocated while the
+          span was open (self-domain only, [>= 0]; see the module
+          preamble) *)
   seq_open : int;  (** global sequence number taken at span open *)
   seq_close : int;
       (** global sequence number taken at span close; open/close events of
