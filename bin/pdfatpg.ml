@@ -20,6 +20,23 @@ module Workload = Pdf_experiments.Workload
 module Metrics = Pdf_obs.Metrics
 module Span = Pdf_obs.Span
 module Log = Pdf_obs.Log
+module Session = Pdf_serve.Session
+module Server = Pdf_serve.Server
+
+(* The query subcommands (info/atpg/enrich/explain/report) answer
+   through the same warm-session layer `pdfatpg serve` uses, so served
+   output is byte-identical to batch output by construction (DESIGN.md
+   §12.4).  A CLI invocation holds exactly one session. *)
+let session = lazy (Session.create ())
+
+let answer_or_die = function
+  | Ok (a : Session.answer) -> a
+  | Error (Session.Unknown_circuit msg) ->
+    prerr_endline msg;
+    exit 1
+  | Error (Session.No_match msg) ->
+    prerr_endline ("pdfatpg: " ^ msg);
+    exit 1
 
 let load_circuit name =
   match Profiles.find name with
@@ -204,9 +221,8 @@ let profiles_cmd =
 
 let info_cmd =
   let run () name =
-    with_circuit name (fun c ->
-        Printf.printf "%s: %s\n" c.Circuit.name
-          (Stats.to_string (Stats.compute c)))
+    let ans = answer_or_die (Session.info (Lazy.force session) ~circuit:name) in
+    print_string ans.Session.text
   in
   Cmd.v (Cmd.info "info" ~doc:"Print structural statistics of a circuit.")
     Term.(const run $ obs_setup $ circuit_arg)
@@ -331,46 +347,16 @@ let atpg_cmd =
                    (don't-care extraction).")
   in
   let run () name n_p n_p0 seed ordering criterion relax dump ledger_out =
-    with_circuit name (fun c ->
-        let ledger =
-          Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out
-        in
-        let model = Delay_model.lines c in
-        let ts = Target_sets.build ~criterion ?ledger c model ~n_p ~n_p0 in
-        let faults0 = Fault_sim.prepare ~criterion c ts.Target_sets.p0 in
-        let res = Atpg.basic ?ledger c { Atpg.ordering; seed } ~faults:faults0 in
-        Printf.printf
-          "basic ATPG (%s): %d/%d P0 faults detected, %d tests, %d aborted \
-           primaries, %.2fs\n"
-          (Ordering.name ordering)
-          (Fault_sim.count res.Atpg.detected)
-          (Array.length faults0)
-          (List.length res.Atpg.tests)
-          res.Atpg.primary_aborts res.Atpg.runtime_s;
-        if relax then begin
-          let total_bits = ref 0 and needed = ref 0 in
-          List.iter
-            (fun t ->
-              let detected = Fault_sim.detected_by_test c t faults0 in
-              let keep =
-                Array.to_list faults0
-                |> List.filteri (fun i _ -> detected.(i))
-                |> List.map (fun (p : Fault_sim.prepared) -> p.Fault_sim.reqs)
-              in
-              let r = Pdf_core.Relax.relax c t ~keep in
-              total_bits := !total_bits + (2 * c.Circuit.num_pis);
-              needed := !needed + Pdf_core.Relax.specified_bits r)
-            res.Atpg.tests;
-          if !total_bits > 0 then
-            Printf.printf
-              "relaxation: %d of %d pattern bits needed (%.0f%% don't-care)\n"
-              !needed !total_bits
-              (100.
-              *. float_of_int (!total_bits - !needed)
-              /. float_of_int !total_bits)
-        end;
-        dump_tests dump res.Atpg.tests;
-        write_ledger ledger_out ledger)
+    let ledger = Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out in
+    let params = { Session.n_p; n_p0; seed; criterion } in
+    let ans =
+      answer_or_die
+        (Session.atpg ?ledger (Lazy.force session) ~circuit:name ~params
+           ~ordering ~relax)
+    in
+    print_string ans.Session.text;
+    dump_tests dump ans.Session.tests;
+    write_ledger ledger_out ledger
   in
   Cmd.v
     (Cmd.info "atpg"
@@ -387,49 +373,16 @@ let enrich_cmd =
                    and enriched test sets.")
   in
   let run () name n_p n_p0 seed criterion coverage dump ledger_out =
-    with_circuit name (fun c ->
-        let ledger =
-          Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out
-        in
-        let model = Delay_model.lines c in
-        let ts = Target_sets.build ~criterion ?ledger c model ~n_p ~n_p0 in
-        let faults = Fault_sim.prepare ~criterion c ts.Target_sets.p in
-        let n0 = List.length ts.Target_sets.p0 in
-        let p0 = List.init n0 (fun i -> i) in
-        let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
-        let res = Atpg.enrich ?ledger c ~seed ~faults ~p0 ~p1 in
-        Printf.printf
-          "enrichment: %d/%d P0 and %d/%d P0 u P1 faults detected, %d tests, \
-           %.2fs\n"
-          (Atpg.count_detected res ~ids:p0)
-          n0
-          (Fault_sim.count res.Atpg.detected)
-          (Array.length faults)
-          (List.length res.Atpg.tests)
-          res.Atpg.runtime_s;
-        if coverage then begin
-          let faults0 = Array.of_list (List.map (fun i -> faults.(i)) p0) in
-          let basic =
-            Atpg.basic c
-              { Atpg.ordering = Ordering.Value_based; seed }
-              ~faults:faults0
-          in
-          let basic_flags =
-            Fault_sim.detected_by_tests c basic.Atpg.tests faults
-          in
-          let module Coverage = Pdf_core.Coverage in
-          Pdf_util.Table.print
-            (Coverage.comparison_table
-               ~labels:
-                 [ Printf.sprintf "basic (%d tests)"
-                     (List.length basic.Atpg.tests);
-                   Printf.sprintf "enriched (%d tests)"
-                     (List.length res.Atpg.tests) ]
-               [ Coverage.of_flags faults basic_flags;
-                 Coverage.of_flags faults res.Atpg.detected ])
-        end;
-        dump_tests dump res.Atpg.tests;
-        write_ledger ledger_out ledger)
+    let ledger = Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out in
+    let params = { Session.n_p; n_p0; seed; criterion } in
+    let ans =
+      answer_or_die
+        (Session.enrich ?ledger (Lazy.force session) ~circuit:name ~params
+           ~coverage)
+    in
+    print_string ans.Session.text;
+    dump_tests dump ans.Session.tests;
+    write_ledger ledger_out ledger
   in
   Cmd.v
     (Cmd.info "enrich"
@@ -832,14 +785,12 @@ let explain_cmd =
                    (e.g. a net on the path).")
   in
   let run () name query n_p n_p0 seed criterion =
-    with_circuit name (fun c ->
-        let module Provenance = Pdf_experiments.Provenance in
-        let p = Provenance.build ~criterion ~n_p ~n_p0 ~seed c in
-        match Provenance.explain p query with
-        | Ok text -> print_string text
-        | Error msg ->
-          prerr_endline ("pdfatpg: " ^ msg);
-          exit 1)
+    let params = { Session.n_p; n_p0; seed; criterion } in
+    let ans =
+      answer_or_die
+        (Session.explain (Lazy.force session) ~circuit:name ~params ~query)
+    in
+    print_string ans.Session.text
   in
   Cmd.v
     (Cmd.info "explain"
@@ -852,11 +803,20 @@ let explain_cmd =
 
 let report_cmd =
   let run () name n_p n_p0 seed criterion ledger_out =
-    with_circuit name (fun c ->
-        let module Provenance = Pdf_experiments.Provenance in
-        let p = Provenance.build ~criterion ~n_p ~n_p0 ~seed c in
-        print_string (Provenance.report p);
-        write_ledger ledger_out (Some p.Provenance.ledger))
+    let params = { Session.n_p; n_p0; seed; criterion } in
+    let s = Lazy.force session in
+    let ans = answer_or_die (Session.report s ~circuit:name ~params) in
+    print_string ans.Session.text;
+    match ledger_out with
+    | None -> ()
+    | Some _ -> (
+      (* The provenance cache hands back the same run [report] just
+         rendered, so the written ledger matches the printed tables. *)
+      match Session.provenance s ~circuit:name ~params with
+      | Ok p -> write_ledger ledger_out (Some p.Pdf_experiments.Provenance.ledger)
+      | Error e ->
+        prerr_endline (Session.error_message e);
+        exit 1)
   in
   Cmd.v
     (Cmd.info "report"
@@ -1269,6 +1229,103 @@ let bench_cmd =
           $ min_sample_arg $ circuits_arg $ tests_arg $ bench_n_p_arg
           $ bench_n_p0_arg $ seed_arg)
 
+let serve_cmd =
+  let unix_arg =
+    Arg.(value & opt (some string) None
+         & info [ "unix" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv) (unlinked on \
+                   startup and shutdown).")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Listen on a TCP socket, e.g. 127.0.0.1:7333.")
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 64
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Concurrent connections; excess connections get a \
+                   $(b,busy) error frame.")
+  in
+  let max_line_arg =
+    Arg.(value & opt int (1024 * 1024)
+         & info [ "max-line-bytes" ] ~docv:"BYTES"
+             ~doc:"Longest accepted request line ($(b,line_too_long)).")
+  in
+  let max_n_p_serve_arg =
+    Arg.(value & opt int 20000
+         & info [ "max-n-p" ] ~docv:"N"
+             ~doc:"Per-request cap on n_p ($(b,budget_exceeded)).")
+  in
+  let max_n_p0_serve_arg =
+    Arg.(value & opt int 2000
+         & info [ "max-n-p0" ] ~docv:"N"
+             ~doc:"Per-request cap on n_p0 ($(b,budget_exceeded)).")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 8192
+         & info [ "chunk" ] ~docv:"BYTES"
+             ~doc:"Answer-streaming slice size per chunk frame.")
+  in
+  let run () unix tcp max_clients max_line_bytes max_n_p max_n_p0 chunk =
+    let usage () =
+      Printf.eprintf "pdfatpg: serve needs --unix PATH or --tcp HOST:PORT\n";
+      exit 2
+    in
+    let bind =
+      match (unix, tcp) with
+      | Some path, None -> Server.Unix_path path
+      | None, Some spec -> (
+        match String.rindex_opt spec ':' with
+        | None ->
+          Printf.eprintf "pdfatpg: invalid --tcp %S (want HOST:PORT)\n" spec;
+          exit 2
+        | Some i -> (
+          let host = String.sub spec 0 i in
+          let host = if host = "" then "127.0.0.1" else host in
+          match
+            int_of_string_opt
+              (String.sub spec (i + 1) (String.length spec - i - 1))
+          with
+          | Some port -> Server.Tcp (host, port)
+          | None ->
+            Printf.eprintf "pdfatpg: invalid --tcp port in %S\n" spec;
+            exit 2))
+      | Some _, Some _ ->
+        Printf.eprintf "pdfatpg: choose one of --unix and --tcp\n";
+        exit 2
+      | None, None -> usage ()
+    in
+    let cfg =
+      {
+        (Server.default_config bind) with
+        Server.max_clients;
+        max_line_bytes;
+        max_n_p;
+        max_n_p0;
+        chunk_bytes = chunk;
+      }
+    in
+    Server.run
+      ~ready:(fun () ->
+        Printf.printf "pdfatpg: serving protocol %d on %s\n%!"
+          Pdf_serve.Protocol.protocol_version
+          (Server.bind_to_string bind))
+      cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve ATPG queries over a Unix or TCP socket with warm \
+             circuit sessions: parse, levelize and analyze each circuit \
+             once, then answer atpg/enrich/explain/report/ledger requests \
+             from the session caches.  Line-delimited JSON protocol (see \
+             PROTOCOL.md); a $(b,GET /metrics) line gets the live \
+             Prometheus registry; a $(b,shutdown) request stops the \
+             server.")
+    Term.(const run $ obs_setup $ unix_arg $ tcp_arg $ max_clients_arg
+          $ max_line_arg $ max_n_p_serve_arg $ max_n_p0_serve_arg
+          $ chunk_arg)
+
 let version_cmd =
   let run () =
     let fp =
@@ -1303,7 +1360,7 @@ let () =
         profiles_cmd; info_cmd; paths_cmd; histogram_cmd; count_cmd;
         sta_cmd; atpg_cmd; enrich_cmd; faultsim_cmd; gen_cmd; timing_cmd;
         diagnose_cmd; tables_cmd; ablations_cmd; trace_cmd; explain_cmd;
-        report_cmd; fuzz_cmd; bench_cmd; version_cmd;
+        report_cmd; fuzz_cmd; bench_cmd; serve_cmd; version_cmd;
       ]
   in
   exit (Cmd.eval group)

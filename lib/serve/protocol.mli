@@ -1,0 +1,85 @@
+(** The [pdfatpg serve] wire protocol: line-delimited JSON framing
+    (PROTOCOL.md is the complete reference; DESIGN.md §12 the design).
+
+    Every request is one LF-terminated JSON object carrying a ["req"]
+    kind, an optional client-chosen ["id"] (echoed on every frame of
+    the response, default [0]) and the kind's parameter fields.  Every
+    response is a sequence of LF-terminated JSON frames for that id:
+    zero or more [chunk] frames carrying slices of the answer text in
+    order, closed by exactly one [done] frame — or a single [error]
+    frame instead.  Parsing reuses {!Pdf_obs.Json_text}; unknown or
+    ill-typed fields are rejected ([bad_params]), not ignored, so
+    client typos fail loudly. *)
+
+(** A parsed request. *)
+type request =
+  | Ping  (** liveness probe; answers with a bare [done] frame *)
+  | Hello  (** server identification: protocol version, fingerprint *)
+  | Info of { circuit : string }
+  | Atpg of {
+      circuit : string;
+      params : Session.params;
+      ordering : Pdf_core.Ordering.t;
+      relax : bool;
+    }
+  | Enrich of { circuit : string; params : Session.params; coverage : bool }
+  | Explain of { circuit : string; params : Session.params; query : string }
+  | Report of { circuit : string; params : Session.params }
+  | Ledger of { circuit : string; params : Session.params }
+      (** the enrichment run's provenance ledger, streamed as JSONL
+          slices split only at record boundaries *)
+  | Metrics
+      (** live Prometheus text exposition of the metrics registry *)
+  | Shutdown
+
+val request_name : request -> string
+(** The ["req"] string of a request (["atpg"], ["report"], ...). *)
+
+val protocol_version : int
+(** Version reported by [hello] and bumped on breaking changes. *)
+
+(** Error vocabulary of the [error] frame (PROTOCOL.md, "Error
+    codes"). *)
+type error_code =
+  | Parse_error  (** the line is not a JSON object *)
+  | Bad_request  (** unknown ["req"] kind, or ["req"] missing *)
+  | Bad_params  (** unknown field, ill-typed field or invalid value *)
+  | Unknown_circuit  (** not a profile name or parseable netlist file *)
+  | No_match  (** an [explain] query matching no fault *)
+  | Budget_exceeded  (** request exceeds the server's per-request caps *)
+  | Line_too_long  (** request line exceeds the server's frame limit *)
+  | Busy  (** the server is at its concurrent-client capacity *)
+  | Internal  (** unexpected server-side failure *)
+
+val code_string : error_code -> string
+(** Wire spelling, e.g. ["budget_exceeded"]. *)
+
+val parse_request :
+  string -> (int * request, int * error_code * string) result
+(** Parse one request line.  [Ok (id, request)] or
+    [Error (id, code, message)]; the id is [0] when the line was too
+    broken to extract one, so an error frame can always be
+    addressed. *)
+
+(** {2 Response frames}
+
+    Each function renders one complete frame {e without} the trailing
+    newline; the server appends it when writing. *)
+
+val chunk_frame : id:int -> seq:int -> string -> string
+(** [{"id":..,"ev":"chunk","seq":..,"data":"..."}] — [seq] starts at 0
+    and increments per chunk of one response. *)
+
+val done_frame :
+  id:int -> req:string -> chunks:int -> bytes:int -> cached:bool -> string
+(** [{"id":..,"ev":"done","req":"..","chunks":..,"bytes":..,
+    "cached":..}] — closes a successful response; [bytes] is the total
+    payload length across the [chunk] frames and [cached] reports a
+    warm answer-cache hit. *)
+
+val error_frame : id:int -> error_code -> string -> string
+(** [{"id":..,"ev":"error","code":"..","message":".."}]. *)
+
+val hello_text : unit -> string
+(** The [hello] answer payload: one JSON line with the server name,
+    {!protocol_version} and the environment fingerprint summary. *)
