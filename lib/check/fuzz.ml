@@ -114,13 +114,45 @@ let fanin3 =
       ];
   }
 
+(* Incremental-simulation stress (DESIGN.md §13): bigger, bushier DAGs
+   where one flipped input's fanout cone is a small fraction of the
+   netlist — the regime Wsim.Inc / Inc_sim optimize, and where a stale
+   dirty-set entry would go unnoticed on the tiny grids above.  Sized
+   for the nightly time-budgeted campaign, deliberately not part of
+   [default_profile]: the fault-based oracles take seconds per round
+   at this scale. *)
+let scale =
+  {
+    profile_name = "scale";
+    grid =
+      [
+        {
+          base with
+          Generators.num_pis = 48;
+          num_gates = 600;
+          window = 300;
+          restart_pct = 30;
+          po_taps = 4;
+        };
+        {
+          base with
+          Generators.num_pis = 96;
+          num_gates = 1_500;
+          window = 800;
+          max_fanout = 4;
+          restart_pct = 30;
+          po_taps = 4;
+        };
+      ];
+  }
+
 let default_profile =
   {
     profile_name = "default";
     grid = tiny.grid @ deep.grid @ wide.grid @ reconv.grid @ fanin3.grid;
   }
 
-let profiles = [ default_profile; tiny; deep; wide; reconv; fanin3 ]
+let profiles = [ default_profile; tiny; deep; wide; reconv; fanin3; scale ]
 
 let profile_of_name n =
   List.find_opt (fun p -> String.equal p.profile_name n) profiles

@@ -9,6 +9,7 @@ module Fault = Pdf_faults.Fault
 module Target_sets = Pdf_faults.Target_sets
 module Delay_model = Pdf_paths.Delay_model
 module Fault_sim = Pdf_core.Fault_sim
+module Inc_sim = Pdf_core.Inc_sim
 module Test_pair = Pdf_core.Test_pair
 module Atpg = Pdf_core.Atpg
 module Justify = Pdf_core.Justify
@@ -160,6 +161,110 @@ let check_packed_sim { circuit = c; seed } =
                    (Triple.to_string packed))
         end
       done
+    end
+  done;
+  match !violation with Some m -> Fail m | None -> Pass
+
+(* ------------------------------------------------------------------ *)
+(* inc-sim: incremental engines vs the full-pass references             *)
+(* ------------------------------------------------------------------ *)
+
+(* A randomized flip sequence over persistent incremental state: step 0
+   installs fresh random words on every PI, one step is a zero-flip
+   no-op [assign], and each remaining step flips a few random PIs (first
+   pattern only, second pattern only, or both — with X lanes at the
+   usual one-in-five rate).  After every step the packed [Wsim.Inc]
+   planes must be word-identical to a from-scratch full pass over the
+   same words, and the scalar [Inc_sim] state must agree with the
+   scalar reference on lane 0.  This is the oracle that catches the
+   [Wsim.set_inc_injected_bug] mutation (a w3-only flip dropped on the
+   incremental path) — the harness's self-test for incremental-path
+   divergence. *)
+let inc_sim_steps = 8
+
+let check_inc_sim { circuit = c; seed } =
+  let rng = Rng.create seed in
+  let n = c.Circuit.num_pis in
+  let lanes = Word.lanes in
+  let rand_bit () =
+    if Rng.int rng 5 = 0 then Bit.X
+    else if Rng.bool rng then Bit.One
+    else Bit.Zero
+  in
+  let rand_word () = Word.of_bits (Array.init lanes (fun _ -> rand_bit ())) in
+  let w1 = Array.init n (fun _ -> rand_word ()) in
+  let w3 = Array.init n (fun _ -> rand_word ()) in
+  let inc = Wsim.Inc.create c ~lanes in
+  let s = Array.init 3 (fun _ -> Array.make (Circuit.num_nets c) Bit.X) in
+  let sinc = Inc_sim.create c ~s in
+  let violation = ref None in
+  let check_packed step =
+    let full = Wsim.simulate c ~w1 ~w3 ~lanes in
+    for net = 0 to Circuit.num_nets c - 1 do
+      for comp = 0 to 2 do
+        if
+          !violation = None
+          && not
+               (Word.equal
+                  (Wsim.word (Wsim.Inc.planes inc) ~comp ~net)
+                  (Wsim.word full ~comp ~net))
+        then
+          violation :=
+            Some
+              (Printf.sprintf
+                 "incremental packed simulation diverges from the full pass \
+                  on %s: step %d, net %s, component %d"
+                 c.Circuit.name step (Circuit.net_name c net) comp)
+      done
+    done
+  in
+  let check_scalar step =
+    let pairs =
+      Array.init n (fun pi ->
+          { Two_pattern.b1 = Word.get w1.(pi) 0; b3 = Word.get w3.(pi) 0 })
+    in
+    let scalar = Two_pattern.simulate c pairs in
+    for net = 0 to Circuit.num_nets c - 1 do
+      if
+        !violation = None
+        && not
+             (Triple.equal scalar.(net)
+                (Triple.make s.(0).(net) s.(1).(net) s.(2).(net)))
+      then
+        violation :=
+          Some
+            (Printf.sprintf
+               "incremental scalar simulation diverges from the reference \
+                on %s: step %d, net %s"
+               c.Circuit.name step (Circuit.net_name c net))
+    done
+  in
+  for step = 0 to inc_sim_steps - 1 do
+    if !violation = None then begin
+      (* Step 0 touches every PI (fresh words are already installed);
+         step 1 flips nothing — the no-op assign must also converge. *)
+      if step >= 2 then begin
+        let flips = 1 + Rng.int rng 3 in
+        for _ = 1 to flips do
+          let pi = Rng.int rng n in
+          match Rng.int rng 3 with
+          | 0 -> w1.(pi) <- rand_word ()
+          | 1 -> w3.(pi) <- rand_word ()
+          | _ ->
+            w1.(pi) <- rand_word ();
+            w3.(pi) <- rand_word ()
+        done
+      end;
+      Wsim.Inc.assign inc ~w1 ~w3;
+      check_packed step;
+      if !violation = None then begin
+        for pi = 0 to n - 1 do
+          Inc_sim.set_pi sinc pi ~v1:(Word.get w1.(pi) 0)
+            ~v3:(Word.get w3.(pi) 0)
+        done;
+        Inc_sim.propagate sinc;
+        check_scalar step
+      end
     end
   done;
   match !violation with Some m -> Fail m | None -> Pass
@@ -497,6 +602,9 @@ let all =
     { name = "packed-sim";
       doc = "bit-parallel simulation agrees with the scalar reference";
       check = check_packed_sim };
+    { name = "inc-sim";
+      doc = "incremental simulation equals a full pass after any flip sequence";
+      check = check_inc_sim };
     { name = "packed-detect";
       doc = "packed and scalar detected_by_tests flags are identical";
       check = check_packed_detect };

@@ -22,6 +22,11 @@ type t = private {
       (** per net, the [(gate, pin)] pairs that consume it *)
   is_po : bool array;
   level : int array;  (** per net; PIs are level 0 *)
+  level_gates : int array array;
+      (** gates grouped by output-net level: bucket [l] lists the gates
+          whose output is at level [l], ascending gate order; bucket 0
+          is empty (PIs).  The levelized schedule shared by every
+          event-driven simulator — see {!level_gates}. *)
   by_name : (string, int) Hashtbl.t;
 }
 
@@ -47,6 +52,20 @@ val fanout_count : t -> int -> int
 
 val depth : t -> int
 (** Maximum net level. *)
+
+val level : t -> int -> int
+(** Topological level of a net: 0 for PIs, [1 + max fanin level] for a
+    gate output.  Computed and asserted once in {!unsafe_make} (every
+    fanin is strictly below its gate), so consumers — [Logic_sim],
+    [Wsim], [Wsim.Inc], [Inc_sim], [Timing]'s initial settle — rely on
+    this single construction-time check instead of re-deriving or
+    implicitly trusting gate order. *)
+
+val level_gates : t -> int array array
+(** The validated per-level gate buckets ([level_gates] field):
+    evaluating bucket 1, then 2, ... re-evaluates every gate after all
+    its fanins — the worklist schedule of the incremental simulators.
+    Re-checked by {!validate}. *)
 
 val pis : t -> int list
 

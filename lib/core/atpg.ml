@@ -1,6 +1,9 @@
 module Req = Pdf_values.Req
+module Bit = Pdf_values.Bit
+module Triple = Pdf_values.Triple
 module Word = Pdf_values.Word
 module Wreq = Pdf_bitsim.Wreq
+module Wsim = Pdf_bitsim.Wsim
 module Circuit = Pdf_circuit.Circuit
 module Rng = Pdf_util.Rng
 module Metrics = Pdf_obs.Metrics
@@ -154,6 +157,31 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
   let t0 = Unix.gettimeofday () in
   let engine = Justify.create c in
   let runs0 = Justify.runs engine and trials0 = Justify.trials engine in
+  (* Per-test value refresh.  Consecutive accepted tests within one
+     compaction pass differ in a handful of PI bits, so with the
+     incremental engine the refresh re-evaluates only the changed cone
+     of one persistent scalar state instead of three full passes;
+     the resulting triples are identical (PDF_INCSIM=0 restores the
+     plain [Test_pair.simulate] reference). *)
+  let inc_state =
+    if Wsim.incsim_enabled () then
+      let s = Array.init 3 (fun _ -> Array.make (Circuit.num_nets c) Bit.X) in
+      Some (s, Inc_sim.create c ~s)
+    else None
+  in
+  let simulate_test test =
+    match inc_state with
+    | None -> Test_pair.simulate c test
+    | Some (s, inc) ->
+      for pi = 0 to c.Circuit.num_pis - 1 do
+        Inc_sim.set_pi inc pi
+          ~v1:(Bit.of_bool test.Test_pair.v1.(pi))
+          ~v3:(Bit.of_bool test.Test_pair.v3.(pi))
+      done;
+      Inc_sim.propagate inc;
+      Array.init (Circuit.num_nets c) (fun net ->
+          Triple.make s.(0).(net) s.(1).(net) s.(2).(net))
+  in
   let ord_name = Ordering.name config.ordering in
   (* Provenance (DESIGN.md §9): everything recorded in the ledger is
      derived from the sequential generation loop and the seed — no
@@ -289,7 +317,7 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
         match Justify.run engine ~rng ~reqs:(reqs_with st.acc updates) with
         | Some test ->
           st.test <- test;
-          st.values <- Test_pair.simulate c test;
+          st.values <- simulate_test test;
           refresh_masks st;
           commit st.acc updates;
           st.implied <- recompute_implied c st.acc;
@@ -403,7 +431,7 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
         let st =
           {
             test;
-            values = Test_pair.simulate c test;
+            values = simulate_test test;
             acc = Hashtbl.create 64;
             implied = [||];
             det_masks = [||];
@@ -507,6 +535,10 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
             ([ ("id", Ledger.I i); ("fault", Ledger.S (fault_name i)) ]
             @ disposition))
         faults);
+  Option.iter
+    (fun (_, inc) ->
+      Inc_sim.record ~num_gates:(Circuit.num_gates c) (Inc_sim.stats inc))
+    inc_state;
   let result =
     {
       tests = List.rev !tests;

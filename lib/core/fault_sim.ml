@@ -150,18 +150,37 @@ let pack_batch c (tests : Test_pair.t array) (lo, hi) =
   let w3 = Array.init np (fun pi -> { Word.zero = z3.(pi); one = o3.(pi) }) in
   (w1, w3, lanes)
 
+(* Simulate one packed batch, full-pass or event-driven.  A fresh
+   incremental state per batch keeps the planes and the per-batch stats
+   independent of which domain ran the batch; the stats travel back with
+   the result and are folded into the sim.inc.* metrics centrally, in
+   fixed batch order, so the metrics stay jobs-invariant. *)
+let sim_batch c ~w1 ~w3 ~lanes =
+  if Wsim.incsim_enabled () then begin
+    let inc = Wsim.Inc.create c ~lanes in
+    Wsim.Inc.assign inc ~w1 ~w3;
+    (Wsim.Inc.planes inc, Some (Wsim.Inc.stats inc))
+  end
+  else (Wsim.simulate c ~w1 ~w3 ~lanes, None)
+
+let record_batch_stats c parts =
+  Array.iter
+    (fun (_, st) ->
+      Option.iter (Wsim.record_inc ~num_gates:(Circuit.num_gates c)) st)
+    parts
+
 (* Word-parallel scan over one batch, metrics-free: the caller accounts
    centrally so totals are identical to the scalar path and independent
    of how batches are distributed over domains. *)
 let detect_batch c tests faults bound =
   let w1, w3, lanes = pack_batch c tests bound in
-  let planes = Wsim.simulate c ~w1 ~w3 ~lanes in
+  let planes, inc_stats = sim_batch c ~w1 ~w3 ~lanes in
   let detected = Array.make (Array.length faults) false in
   Array.iteri
     (fun i p ->
       if Wreq.satisfied_mask planes p.reqs <> 0 then detected.(i) <- true)
     faults;
-  detected
+  (detected, inc_stats)
 
 (* Sequential scalar scan over [tests.(lo .. hi-1)], metrics-free (the
    jobs-independent reference for the packed path). *)
@@ -201,7 +220,8 @@ let detected_by_tests ?pool c tests faults =
     let partials =
       Pdf_par.Pool.map_array pool (detect_batch c tests faults) bounds
     in
-    let detected = or_merge (Array.length faults) partials in
+    record_batch_stats c partials;
+    let detected = or_merge (Array.length faults) (Array.map fst partials) in
     Metrics.add m_simulations n_tests;
     Metrics.add m_word_batches (Array.length bounds);
     Metrics.add m_lanes_used n_tests;
@@ -251,7 +271,7 @@ let detected_by_tests ?pool c tests faults =
    fault's satisfaction mask into the per-test rows. *)
 let matrix_batch c tests faults (lo, hi) =
   let w1, w3, lanes = pack_batch c tests (lo, hi) in
-  let planes = Wsim.simulate c ~w1 ~w3 ~lanes in
+  let planes, inc_stats = sim_batch c ~w1 ~w3 ~lanes in
   let nf = Array.length faults in
   let rows = Array.init lanes (fun _ -> Array.make nf false) in
   Array.iteri
@@ -262,7 +282,7 @@ let matrix_batch c tests faults (lo, hi) =
           if m land (1 lsl l) <> 0 then rows.(l).(i) <- true
         done)
     faults;
-  rows
+  (rows, inc_stats)
 
 let matrix_row c faults test =
   let values = Test_pair.simulate c test in
@@ -281,9 +301,10 @@ let detect_matrix ?pool c tests faults =
       let parts =
         Pdf_par.Pool.map_array pool (matrix_batch c tests faults) bounds
       in
+      record_batch_stats c parts;
       Metrics.add m_word_batches (Array.length bounds);
       Metrics.add m_lanes_used n_tests;
-      Array.concat (Array.to_list parts)
+      Array.concat (Array.to_list (Array.map fst parts))
     end
     else Pdf_par.Pool.map_array pool (matrix_row c faults) tests
   in

@@ -1,0 +1,47 @@
+(** Scalar event-driven incremental two-pattern simulation.
+
+    The thin scalar counterpart of {!Pdf_bitsim.Wsim.Inc} (DESIGN.md
+    §13): a dirty-set worklist over the circuit's validated level
+    buckets ({!Pdf_circuit.Circuit.level_gates}), maintaining a
+    caller-owned three-component value state ([3 x num_nets] of
+    {!Pdf_values.Bit.t}) in place.  {!set_pi} diffs an input assignment
+    against the previous one and seeds only real changes; {!propagate}
+    re-evaluates the affected fanout cone level by level, stopping a
+    branch when a gate's three component values are unchanged.  Because
+    gate functions are pure and evaluated in topological order, the
+    state after [propagate] is exactly what a full re-simulation of the
+    (mask-restricted) circuit would produce — the justify engine and
+    [Atpg.generate] rely on this to stay byte-identical to their
+    full-pass variants ([PDF_INCSIM=0]).
+
+    An optional gate mask restricts propagation to a sub-circuit (the
+    justify engine passes its fan-in cone, whose fanins are closed
+    under the mask); nets outside the masked cone are never written. *)
+
+type t
+
+val create :
+  ?gate_mask:bool array -> Pdf_circuit.Circuit.t -> s:Pdf_values.Bit.t array array -> t
+(** [create ?gate_mask c ~s] wraps the caller's state [s] (aliased, not
+    copied).  [s] must be [3 x num_nets] and all-[X] — the fixpoint of
+    the all-[X] input, matching the fresh remembered assignment.
+    [gate_mask], when given, must have one entry per gate; it is
+    copied.  Raises [Invalid_argument] on shape mismatches. *)
+
+val set_pi : t -> int -> v1:Pdf_values.Bit.t -> v3:Pdf_values.Bit.t -> unit
+(** Install PI [pi]'s two pattern values; the intermediate component is
+    seeded with [Two_pattern.middle_of_pair].  A value equal to the
+    previous call's is a no-op. *)
+
+val propagate : t -> unit
+(** Drain the dirty worklist in level order.  With no pending changes
+    this is a no-op (plus one counted assign). *)
+
+val stats : t -> Pdf_bitsim.Wsim.Inc.stats
+(** A copy of the cumulative counters since creation or {!reset_stats}. *)
+
+val reset_stats : t -> unit
+
+val record : num_gates:int -> Pdf_bitsim.Wsim.Inc.stats -> unit
+(** {!Pdf_bitsim.Wsim.record_inc}, re-exported so scalar callers account
+    into the same [sim.inc.*] metrics. *)

@@ -3,6 +3,7 @@ module Req = Pdf_values.Req
 module Circuit = Pdf_circuit.Circuit
 module Rng = Pdf_util.Rng
 module Two_pattern = Pdf_sim.Two_pattern
+module Wsim = Pdf_bitsim.Wsim
 module Metrics = Pdf_obs.Metrics
 module Span = Pdf_obs.Span
 
@@ -52,6 +53,7 @@ type search = {
   a1 : Bit.t array; (* per PI *)
   a3 : Bit.t array;
   s : Bit.t array array; (* persistent simulation, 3 x nets *)
+  inc : Inc_sim.t option; (* incremental maintainer of [s], cone-masked *)
   tval : Bit.t array array; (* trial overlay *)
   tstamp : int array array;
   mutable trial_id : int;
@@ -89,22 +91,34 @@ let compute_cone c req_nets =
   done;
   (Array.of_list !cone_gates, Array.of_list !cone_pis)
 
+(* Bring [st.s] up to date with [st.a1]/[st.a3].  Incrementally when the
+   engine is enabled: only cone PIs whose assignment actually changed
+   are seeded and only their dirty fanout cone is re-evaluated, instead
+   of the full cone pass below — same fixpoint, so the search (and every
+   test it emits) is byte-identical either way. *)
 let resim st =
-  let middle = Two_pattern.middle_of_pair in
-  Array.iter
-    (fun pi ->
-      st.s.(0).(pi) <- st.a1.(pi);
-      st.s.(2).(pi) <- st.a3.(pi);
-      st.s.(1).(pi) <- middle st.a1.(pi) st.a3.(pi))
-    st.cone_pis;
-  Array.iter
-    (fun gi ->
-      let g = st.c.Circuit.gates.(gi) in
-      let out = Circuit.net_of_gate st.c gi in
-      for k = 0 to 2 do
-        st.s.(k).(out) <- eval_gate_get g (fun net -> st.s.(k).(net))
-      done)
-    st.cone_gates
+  match st.inc with
+  | Some inc ->
+    Array.iter
+      (fun pi -> Inc_sim.set_pi inc pi ~v1:st.a1.(pi) ~v3:st.a3.(pi))
+      st.cone_pis;
+    Inc_sim.propagate inc
+  | None ->
+    let middle = Two_pattern.middle_of_pair in
+    Array.iter
+      (fun pi ->
+        st.s.(0).(pi) <- st.a1.(pi);
+        st.s.(2).(pi) <- st.a3.(pi);
+        st.s.(1).(pi) <- middle st.a1.(pi) st.a3.(pi))
+      st.cone_pis;
+    Array.iter
+      (fun gi ->
+        let g = st.c.Circuit.gates.(gi) in
+        let out = Circuit.net_of_gate st.c gi in
+        for k = 0 to 2 do
+          st.s.(k).(out) <- eval_gate_get g (fun net -> st.s.(k).(net))
+        done)
+      st.cone_gates
 
 let conflict_now st =
   Array.exists
@@ -285,6 +299,15 @@ let make_search c rng merged =
       r.(2).(net) <- comp_bit req.Req.r3)
     merged;
   let cone_gates, cone_pis = compute_cone c req_nets in
+  let s = Array.init 3 (fun _ -> Array.make n Bit.X) in
+  let inc =
+    if Wsim.incsim_enabled () then begin
+      let mask = Array.make (Circuit.num_gates c) false in
+      Array.iter (fun gi -> mask.(gi) <- true) cone_gates;
+      Some (Inc_sim.create ~gate_mask:mask c ~s)
+    end
+    else None
+  in
   {
     c;
     rng;
@@ -294,12 +317,22 @@ let make_search c rng merged =
     cone_pis;
     a1 = Array.make c.Circuit.num_pis Bit.X;
     a3 = Array.make c.Circuit.num_pis Bit.X;
-    s = Array.init 3 (fun _ -> Array.make n Bit.X);
+    s;
+    inc;
     tval = Array.init 3 (fun _ -> Array.make n Bit.X);
     tstamp = Array.init 3 (fun _ -> Array.make n 0);
     trial_id = 0;
     unspecified = 2 * Array.length cone_pis;
   }
+
+(* Fold this search's incremental-simulation work into the sim.inc.*
+   metrics.  The denominator is the cone size — what the full-pass
+   [resim] would have evaluated per call. *)
+let record_search st =
+  match st.inc with
+  | Some inc ->
+    Inc_sim.record ~num_gates:(Array.length st.cone_gates) (Inc_sim.stats inc)
+  | None -> ()
 
 type complete_outcome =
   | Found of Test_pair.t
@@ -423,19 +456,23 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
             in
             try_values values)
     in
-    try
-      resim st;
-      if conflict_now st then begin
-        Metrics.incr m_conflicts;
-        Proved_unsatisfiable
-      end
-      else
-        match solve 0 with
-        | Some test -> Found test
-        | None ->
+    let outcome =
+      try
+        resim st;
+        if conflict_now st then begin
           Metrics.incr m_conflicts;
           Proved_unsatisfiable
-    with Budget_exhausted -> Gave_up)
+        end
+        else
+          match solve 0 with
+          | Some test -> Found test
+          | None ->
+            Metrics.incr m_conflicts;
+            Proved_unsatisfiable
+      with Budget_exhausted -> Gave_up
+    in
+    record_search st;
+    outcome)
 
 let run engine ~rng ~reqs =
   Span.with_ "justify" @@ fun () ->
@@ -464,5 +501,6 @@ let run engine ~rng ~reqs =
         if satisfied_now st then Some (build_test st) else None
       with No_test -> None
     in
+    record_search st;
     if result = None then Metrics.incr m_conflicts;
     result

@@ -156,6 +156,156 @@ let prop_fault_mask_matches_scalar =
         packs)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental simulation: Wsim.Inc / Inc_sim vs the full passes       *)
+(* ------------------------------------------------------------------ *)
+
+module Inc_sim = Pdf_core.Inc_sim
+module Rng = Pdf_util.Rng
+
+let with_incsim b f =
+  let before = Wsim.incsim_enabled () in
+  Wsim.set_incsim b;
+  Fun.protect ~finally:(fun () -> Wsim.set_incsim before) f
+
+(* Drive one randomized flip sequence over persistent incremental state
+   and fail on the first divergence from the full-pass references.
+   Step 0 installs fresh words on every PI, step 1 is a zero-flip
+   no-op, later steps flip a few random PIs (w1 only, w3 only, or
+   both; X lanes included).  The packed planes are compared word for
+   word against a from-scratch [Wsim.simulate]; the scalar [Inc_sim]
+   state is compared against [Two_pattern.simulate] on lane 0. *)
+let check_flip_sequence what c ~seed ~lanes ~steps =
+  let rng = Rng.create seed in
+  let n = c.Circuit.num_pis in
+  let rand_bit () =
+    if Rng.int rng 5 = 0 then Bit.X
+    else if Rng.bool rng then Bit.One
+    else Bit.Zero
+  in
+  let rand_word () = Word.of_bits (Array.init lanes (fun _ -> rand_bit ())) in
+  let w1 = Array.init n (fun _ -> rand_word ()) in
+  let w3 = Array.init n (fun _ -> rand_word ()) in
+  let inc = Wsim.Inc.create c ~lanes in
+  let s = Array.init 3 (fun _ -> Array.make (Circuit.num_nets c) Bit.X) in
+  let sinc = Inc_sim.create c ~s in
+  for step = 0 to steps - 1 do
+    if step >= 2 then begin
+      let flips = 1 + Rng.int rng 3 in
+      for _ = 1 to flips do
+        let pi = Rng.int rng n in
+        match Rng.int rng 3 with
+        | 0 -> w1.(pi) <- rand_word ()
+        | 1 -> w3.(pi) <- rand_word ()
+        | _ ->
+          w1.(pi) <- rand_word ();
+          w3.(pi) <- rand_word ()
+      done
+    end;
+    Wsim.Inc.assign inc ~w1 ~w3;
+    let full = Wsim.simulate c ~w1 ~w3 ~lanes in
+    let ip = Wsim.Inc.planes inc in
+    for net = 0 to Circuit.num_nets c - 1 do
+      for comp = 0 to 2 do
+        if not (Word.equal (Wsim.word ip ~comp ~net) (Wsim.word full ~comp ~net))
+        then
+          Alcotest.failf "%s: packed step %d net %d comp %d diverges" what
+            step net comp
+      done
+    done;
+    for pi = 0 to n - 1 do
+      Inc_sim.set_pi sinc pi ~v1:(Word.get w1.(pi) 0) ~v3:(Word.get w3.(pi) 0)
+    done;
+    Inc_sim.propagate sinc;
+    let pairs =
+      Array.init n (fun pi ->
+          { Two_pattern.b1 = Word.get w1.(pi) 0; b3 = Word.get w3.(pi) 0 })
+    in
+    let scalar = Two_pattern.simulate c pairs in
+    for net = 0 to Circuit.num_nets c - 1 do
+      if
+        not
+          (Triple.equal scalar.(net)
+             (Triple.make s.(0).(net) s.(1).(net) s.(2).(net)))
+      then Alcotest.failf "%s: scalar step %d net %d diverges" what step net
+    done
+  done;
+  (* The state did real incremental work: stats must show assigns and,
+     past the first full seeding, early stops on unchanged cones. *)
+  let st = Wsim.Inc.stats inc in
+  check Alcotest.int (what ^ " assigns counted") steps st.Wsim.Inc.assigns
+
+(* Fixed topology grid from tiny to a small huge-tier DAG: depth,
+   reconvergence and width all drive different dirty-set shapes. *)
+let inc_topologies =
+  [
+    ("tiny", { dag_params with Generators.num_pis = 4; num_gates = 10; window = 6 });
+    ("deep", { dag_params with Generators.num_gates = 40; window = 6; restart_pct = 5 });
+    ("reconv", { dag_params with Generators.num_pis = 8; num_gates = 40; reuse_pct = 30; max_fanout = 4 });
+    ( "huge-small",
+      { dag_params with
+        Generators.num_pis = 64;
+        num_gates = 2_000;
+        window = 200;
+        max_fanout = 6;
+        po_taps = 4 } );
+  ]
+
+let test_inc_flip_sequences () =
+  List.iter
+    (fun (name, params) ->
+      let c = Generators.random_dag ~name ~seed:77 params in
+      check_flip_sequence (name ^ "/full-width") c ~seed:1 ~lanes:Word.lanes
+        ~steps:10;
+      check_flip_sequence (name ^ "/partial-word") c ~seed:2 ~lanes:17
+        ~steps:6)
+    inc_topologies
+
+(* Randomized circuits and lane counts: the same flip-sequence property
+   as a QCheck law over the generator grid. *)
+let prop_inc_matches_full =
+  QCheck.Test.make ~name:"Wsim.Inc/Inc_sim = full pass over flip sequences"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (seed, lanes) -> Printf.sprintf "seed=%d lanes=%d" seed lanes)
+       QCheck.Gen.(pair (int_range 0 100_000) (int_range 1 Word.lanes)))
+    (fun (seed, lanes) ->
+      let c = circuit_of_seed seed in
+      check_flip_sequence "random" c ~seed ~lanes ~steps:8;
+      true)
+
+(* Whole enrichment runs are byte-identical with the incremental
+   engines on or off, at any jobs count: same tests, same flags, same
+   abort counts, same provenance-ledger bytes.  This is the PDF_INCSIM
+   escape-hatch contract CI asserts end to end. *)
+let test_enrich_incsim_identity () =
+  let ts = Target_sets.build s27 (Delay_model.lines s27) ~n_p:40 ~n_p0:10 in
+  let faults = Fault_sim.prepare s27 ts.Target_sets.p in
+  let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+  let p0 = List.init n0 Fun.id in
+  let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+  let run ~incsim ~jobs =
+    with_incsim incsim @@ fun () ->
+    let before = Pool.default_jobs () in
+    Pool.set_default_jobs jobs;
+    Fun.protect ~finally:(fun () -> Pool.set_default_jobs before) @@ fun () ->
+    let ledger = Pdf_obs.Ledger.create () in
+    let res = Atpg.enrich ~ledger s27 ~seed:5 ~faults ~p0 ~p1 in
+    (res, Pdf_obs.Ledger.to_jsonl ledger)
+  in
+  let r_ref, j_ref = run ~incsim:false ~jobs:1 in
+  List.iter
+    (fun (incsim, jobs) ->
+      let r, j = run ~incsim ~jobs in
+      let what = Printf.sprintf "incsim=%b jobs=%d" incsim jobs in
+      check Alcotest.string (what ^ " ledger bytes") j_ref j;
+      check
+        Alcotest.(array bool)
+        (what ^ " detected") r_ref.Atpg.detected r.Atpg.detected;
+      check Alcotest.int (what ^ " aborts") r_ref.Atpg.primary_aborts
+        r.Atpg.primary_aborts)
+    [ (false, 4); (true, 1); (true, 4) ]
+
+(* ------------------------------------------------------------------ *)
 (* Batch entry points: jobs x engine grid                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -365,6 +515,14 @@ let () =
           qcheck prop_wsim_matches_scalar;
           qcheck prop_satisfied_mask_matches_scalar;
           qcheck prop_fault_mask_matches_scalar;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "flip sequences on topology grid" `Quick
+            test_inc_flip_sequences;
+          qcheck prop_inc_matches_full;
+          Alcotest.test_case "enrich identity incsim x jobs" `Quick
+            test_enrich_incsim_identity;
         ] );
       ( "fault_sim",
         [
