@@ -19,11 +19,23 @@
    (suite "obs_overhead"), so the report carries the same fingerprint,
    GC and throughput fields as every other BENCH_*.json.
 
-   Exits non-zero when the modelled Null-sink overhead exceeds
-   --max-overhead percent (default 2%). *)
+   The effort-attribution layer (DESIGN.md §14) is gated the same way:
+
+     attrib overhead% = events x per_bump_cost / wall_null x 100
+
+   where events is the total number of counter bumps one attributed run
+   performs (the merged sheet's grand semantic total plus the
+   engine-variant incremental count) and per_bump_cost is a
+   microbenchmark of the hot-path pattern — an option match plus an
+   int-array increment.  The attribution-on wall time is also recorded
+   (informational, like the trace-on time).
+
+   Exits non-zero when either modelled overhead (Null-sink spans, or
+   attribution bumps) exceeds --max-overhead percent (default 2%). *)
 
 module Span = Pdf_obs.Span
 module Bstat = Pdf_obs.Bstat
+module Attrib = Pdf_obs.Attrib
 module Benchmark = Pdf_experiments.Benchmark
 module Profiles = Pdf_synth.Profiles
 module Target_sets = Pdf_faults.Target_sets
@@ -125,6 +137,50 @@ let () =
     if wall_null > 0. then 100. *. (wall_trace -. wall_null) /. wall_null
     else 0.
   in
+  (* 5. Attribution: count one attributed run's counter bumps, measure
+     the attributed wall time (informational), and microbench the
+     hot-path bump pattern (option match + int-array increment). *)
+  let attrib_events =
+    let store = Attrib.create ~nets:(Pdf_circuit.Circuit.num_nets c) in
+    ignore
+      (Atpg.enrich ~attrib:store c ~seed:!seed ~faults ~p0 ~p1 : Atpg.result);
+    let s = Attrib.snapshot store in
+    Attrib.grand_total s + s.Attrib.t_inc_resims
+  in
+  let attrib_meas =
+    Bstat.measure ~warmup:1 ~repeat:!repeat ~min_sample_s:0. (fun () ->
+        let store = Attrib.create ~nets:(Pdf_circuit.Circuit.num_nets c) in
+        ignore
+          (Atpg.enrich ~attrib:store c ~seed:!seed ~faults ~p0 ~p1
+            : Atpg.result))
+  in
+  let attrib_stats = Bstat.summarize attrib_meas.Bstat.samples in
+  let wall_attrib = attrib_stats.Bstat.min_s in
+  let bump_sheet = Attrib.make_sheet ~nets:16 in
+  let bump_att = Some bump_sheet in
+  let bump_payload () =
+    (match bump_att with
+    | Some (a : Attrib.sheet) ->
+      a.Attrib.trials.(!tick land 15) <- a.Attrib.trials.(!tick land 15) + 1
+    | None -> ());
+    incr tick
+  in
+  let bump_plain_meas = site_cfg (fun () -> incr tick) in
+  let bump_meas = site_cfg bump_payload in
+  let bump_plain_stats = Bstat.summarize bump_plain_meas.Bstat.samples in
+  let bump_stats = Bstat.summarize bump_meas.Bstat.samples in
+  let per_bump =
+    Float.max 0. (bump_stats.Bstat.median_s -. bump_plain_stats.Bstat.median_s)
+  in
+  let modelled_attrib_pct =
+    if wall_null > 0. then
+      100. *. float_of_int attrib_events *. per_bump /. wall_null
+    else 0.
+  in
+  let measured_attrib_pct =
+    if wall_null > 0. then 100. *. (wall_attrib -. wall_null) /. wall_null
+    else 0.
+  in
   let case name units meas stats =
     { Benchmark.r_case = name; r_units = units; r_meas = meas; r_stats = stats }
   in
@@ -156,6 +212,12 @@ let () =
             trace_meas trace_stats;
           case "span_site/plain" [] plain_meas plain_stats;
           case "span_site/null_wrapped" [] wrapped_meas wrapped_stats;
+          case
+            (profile.Profiles.name ^ "/atpg_attrib_on")
+            [ ("events", float_of_int attrib_events) ]
+            attrib_meas attrib_stats;
+          case "attrib_site/plain" [] bump_plain_meas bump_plain_stats;
+          case "attrib_site/bump" [] bump_meas bump_stats;
         ];
     }
   in
@@ -165,12 +227,30 @@ let () =
      per_span_null_cost %.3es  modelled null overhead %.4f%%  \
      trace-on overhead %.2f%%\n"
     wall_null wall_trace spans per_span modelled_pct measured_pct;
+  Printf.printf
+    "wall_attrib %.6fs  attrib events %d\n\
+     per_bump_cost %.3es  modelled attrib overhead %.4f%%  \
+     attrib-on overhead %.2f%%\n"
+    wall_attrib attrib_events per_bump modelled_attrib_pct
+    measured_attrib_pct;
+  let failed = ref false in
   if modelled_pct > !max_overhead then begin
     Printf.eprintf
       "FAIL: modelled Null-sink overhead %.4f%% exceeds the %.2f%% budget\n"
       modelled_pct !max_overhead;
-    exit 1
+    failed := true
   end
   else
     Printf.printf "OK: modelled Null-sink overhead %.4f%% <= %.2f%% budget\n"
-      modelled_pct !max_overhead
+      modelled_pct !max_overhead;
+  if modelled_attrib_pct > !max_overhead then begin
+    Printf.eprintf
+      "FAIL: modelled attribution overhead %.4f%% exceeds the %.2f%% budget\n"
+      modelled_attrib_pct !max_overhead;
+    failed := true
+  end
+  else
+    Printf.printf
+      "OK: modelled attribution overhead %.4f%% <= %.2f%% budget\n"
+      modelled_attrib_pct !max_overhead;
+  if !failed then exit 1

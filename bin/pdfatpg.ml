@@ -17,6 +17,7 @@ module Ordering = Pdf_core.Ordering
 module Test_pair = Pdf_core.Test_pair
 module Profiles = Pdf_synth.Profiles
 module Workload = Pdf_experiments.Workload
+module Hotspots = Pdf_experiments.Hotspots
 module Metrics = Pdf_obs.Metrics
 module Span = Pdf_obs.Span
 module Log = Pdf_obs.Log
@@ -28,6 +29,12 @@ module Server = Pdf_serve.Server
    output is byte-identical to batch output by construction (DESIGN.md
    §12.4).  A CLI invocation holds exactly one session. *)
 let session = lazy (Session.create ())
+
+(* The span collector obs_setup installs for --trace-out, when one is
+   active: subcommands with extra trace content (profile's per-level
+   counter track) add their events here so everything lands in the one
+   exported file. *)
+let trace_collector : Pdf_obs.Trace.t option ref = ref None
 
 let answer_or_die = function
   | Ok (a : Session.answer) -> a
@@ -164,6 +171,7 @@ let obs_setup =
     | None -> ()
     | Some path ->
       let coll = Pdf_obs.Trace.collector () in
+      trace_collector := Some coll;
       (* Tee with whatever sink is already installed (the trace
          subcommand's aggregator) so both keep receiving spans. *)
       Span.set_sink (Span.tee (Span.sink ()) (Pdf_obs.Trace.sink coll));
@@ -801,6 +809,70 @@ let explain_cmd =
     Term.(const run $ obs_setup $ circuit_arg $ query_arg $ n_p_arg
           $ n_p0_arg $ seed_arg $ criterion_arg)
 
+let why_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FAULT"
+             ~doc:"Fault id (integer) or a substring of the fault name \
+                   (e.g. a net on the path).")
+  in
+  let run () name query n_p n_p0 seed criterion =
+    let params = { Session.n_p; n_p0; seed; criterion } in
+    let ans =
+      answer_or_die
+        (Session.why (Lazy.force session) ~circuit:name ~params ~query)
+    in
+    print_string ans.Session.text
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Explain one fault's disposition plus the justification \
+             effort charged to it (runs, trials, backtracks, resim gate \
+             evals) and its abort forensics: the last requirement \
+             conflict hit while targeting it and the deepest conflict \
+             level reached.")
+    Term.(const run $ obs_setup $ circuit_arg $ query_arg $ n_p_arg
+          $ n_p0_arg $ seed_arg $ criterion_arg)
+
+let profile_cmd =
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Number of hot nets in the ranking table.")
+  in
+  let json_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:"Also write the profile as a pdf-profile-report/1 JSON \
+                   document to $(docv).")
+  in
+  let run () name n_p n_p0 seed criterion top json_out =
+    with_circuit name (fun c ->
+        let p = Hotspots.profile ~criterion ~n_p ~n_p0 ~seed c in
+        print_string (Hotspots.render ~k:top p);
+        (match json_out with
+        | None -> ()
+        | Some path -> (
+          try Hotspots.write_json ~k:top p path
+          with Sys_error msg ->
+            Printf.eprintf "pdfatpg: cannot write profile JSON: %s\n" msg;
+            exit 1));
+        (* With --trace-out active, add the per-level effort histogram
+           as a Perfetto counter track next to the span timeline. *)
+        match !trace_collector with
+        | Some coll -> Hotspots.counter_track p coll
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run enrichment with per-net effort attribution and print \
+             where the justification work went: semantic effort totals, \
+             a per-level histogram, and the hottest nets.  Output is \
+             byte-identical across --jobs values and the \
+             PDF_INCSIM/PDF_BITSIM engine toggles.")
+    Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg
+          $ seed_arg $ criterion_arg $ top_arg $ json_out_arg)
+
 let report_cmd =
   let run () name n_p n_p0 seed criterion ledger_out =
     let params = { Session.n_p; n_p0; seed; criterion } in
@@ -1360,7 +1432,8 @@ let () =
         profiles_cmd; info_cmd; paths_cmd; histogram_cmd; count_cmd;
         sta_cmd; atpg_cmd; enrich_cmd; faultsim_cmd; gen_cmd; timing_cmd;
         diagnose_cmd; tables_cmd; ablations_cmd; trace_cmd; explain_cmd;
-        report_cmd; fuzz_cmd; bench_cmd; serve_cmd; version_cmd;
+        why_cmd; profile_cmd; report_cmd; fuzz_cmd; bench_cmd; serve_cmd;
+        version_cmd;
       ]
   in
   exit (Cmd.eval group)

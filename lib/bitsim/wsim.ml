@@ -152,9 +152,10 @@ module Inc = struct
     queued : bool array;
     scratch : scratch;
     st : stats;
+    att : Pdf_obs.Attrib.sheet option;
   }
 
-  let create c ~lanes =
+  let create ?attrib c ~lanes =
     if lanes < 1 || lanes > Word.lanes then
       invalid_arg "Wsim.Inc.create: lane count out of range";
     let n = Circuit.num_nets c in
@@ -178,6 +179,7 @@ module Inc = struct
       queued = Array.make (Array.length c.Circuit.gates) false;
       scratch = { sz = 0; so = 0 };
       st = { assigns = 0; resim_gates = 0; early_stops = 0 };
+      att = attrib;
     }
 
   let circuit t = t.ic
@@ -267,6 +269,12 @@ module Inc = struct
         let g = c.Circuit.gates.(gi) in
         let out = np + gi in
         t.st.resim_gates <- t.st.resim_gates + 1;
+        (match t.att with
+        | Some a ->
+          a.Pdf_obs.Attrib.inc_resims.(out) <-
+            a.Pdf_obs.Attrib.inc_resims.(out) + 1;
+          a.Pdf_obs.Attrib.t_inc_resims <- a.Pdf_obs.Attrib.t_inc_resims + 1
+        | None -> ());
         let changed = ref false in
         for k = 0 to 2 do
           let zk = t.p.z.(k) and ok = t.p.o.(k) in

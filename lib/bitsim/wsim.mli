@@ -98,10 +98,14 @@ module Inc : sig
         (** dirty gates whose outputs were unchanged, cutting their cone *)
   }
 
-  val create : Pdf_circuit.Circuit.t -> lanes:int -> t
+  val create :
+    ?attrib:Pdf_obs.Attrib.sheet -> Pdf_circuit.Circuit.t -> lanes:int -> t
   (** Fresh state: all-X planes (the full-pass fixpoint for all-X
       inputs) and all-X remembered PI words.  Raises [Invalid_argument]
-      if [lanes] is outside [1..63]. *)
+      if [lanes] is outside [1..63].  When [attrib] is given, every
+      dirty-cone gate re-evaluation bumps the sheet's [inc_resims]
+      counter for the gate's output net (engine-variant attribution,
+      see {!Pdf_obs.Attrib}). *)
 
   val assign : t -> w1:Pdf_values.Word.t array -> w3:Pdf_values.Word.t array -> unit
   (** Install new PI words and propagate the difference.  Raises

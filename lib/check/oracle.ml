@@ -594,6 +594,109 @@ let check_enrich_p0 { circuit = c; seed } =
     end
 
 (* ------------------------------------------------------------------ *)
+(* attrib: effort conservation — per-net attribution sums equal the     *)
+(* sheet totals, which equal the global justify.*/sim.inc.*/atpg.*      *)
+(* metric deltas, at 1 and 3 jobs; the merged sheets are identical      *)
+(* ------------------------------------------------------------------ *)
+
+module Attrib = Pdf_obs.Attrib
+module Metrics = Pdf_obs.Metrics
+
+(* Every counter the attribution layer mirrors.  The first component
+   names the metric, the second reads the matching sheet total, the
+   third sums the matching per-net array (None for metrics with no
+   per-net breakdown). *)
+let attrib_ledger_lines (s : Attrib.sheet) =
+  let sum a = Array.fold_left ( + ) 0 a in
+  [
+    ("justify.runs", s.Attrib.t_runs, None);
+    ("justify.trials", s.Attrib.t_trials, Some (sum s.Attrib.trials));
+    ("justify.trial_evals", s.Attrib.t_trial_evals,
+     Some (sum s.Attrib.trial_evals));
+    ("justify.resim_gates", s.Attrib.t_resim_gates,
+     Some (sum s.Attrib.resim_cone));
+    ("justify.conflict_hits", s.Attrib.t_conflicts,
+     Some (sum s.Attrib.conflicts));
+    ("justify.backtracks", s.Attrib.t_backtracks,
+     Some (sum s.Attrib.backtracks));
+    ("atpg.delta_evals", s.Attrib.t_cand_scans, None);
+    ("sim.inc.resim_gates", s.Attrib.t_inc_resims,
+     Some (sum s.Attrib.inc_resims));
+  ]
+
+let check_attrib { circuit = c; seed } =
+  let _, ts, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else
+    let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+    if n0 = 0 then Skip "empty P0"
+    else begin
+      let metric name = Metrics.value (Metrics.counter name) in
+      let run_with jobs =
+        with_default_jobs jobs (fun () ->
+            let attrib = Attrib.create ~nets:(Circuit.num_nets c) in
+            let names = List.map (fun (n, _, _) -> n) (attrib_ledger_lines (Attrib.snapshot attrib)) in
+            let before = List.map metric names in
+            let p0 = List.init n0 (fun i -> i) in
+            let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+            let res = Atpg.enrich ~attrib c ~seed ~faults ~p0 ~p1 in
+            (* A batch fault-sim pass so the pool-merged packed path is
+               part of the conservation window too. *)
+            ignore (Fault_sim.detected_by_tests ~attrib c res.Atpg.tests faults);
+            let after = List.map metric names in
+            (Attrib.snapshot attrib, List.map2 ( - ) after before))
+      in
+      let s1, d1 = run_with 1 in
+      let s3, d3 = run_with 3 in
+      let violation = ref None in
+      let check_run jobs (s : Attrib.sheet) deltas =
+        List.iter2
+          (fun (name, total, per_net) delta ->
+            if !violation = None then
+              if total <> delta then
+                violation :=
+                  Some
+                    (Printf.sprintf
+                       "effort not conserved on %s (%d jobs): sheet total \
+                        %d <> %s delta %d"
+                       c.Circuit.name jobs total name delta)
+              else
+                match per_net with
+                | Some sum when sum <> total ->
+                  violation :=
+                    Some
+                      (Printf.sprintf
+                         "per-net attribution of %s does not sum to its \
+                          total on %s (%d jobs): %d <> %d"
+                         name c.Circuit.name jobs sum total)
+                | _ -> ())
+          (attrib_ledger_lines s) deltas
+      in
+      check_run 1 s1 d1;
+      check_run 3 s3 d3;
+      if !violation = None then begin
+        (* Merged sheets must be jobs-invariant, engine-variant counters
+           included: batch bounds are fixed, so even the incremental
+           dirty-cone work is identical at any pool size. *)
+        let arrays (s : Attrib.sheet) =
+          [ s.Attrib.trials; s.Attrib.trial_evals; s.Attrib.resim_cone;
+            s.Attrib.conflicts; s.Attrib.backtracks; s.Attrib.cand_evals;
+            s.Attrib.inc_resims ]
+        in
+        List.iter2
+          (fun a b ->
+            if !violation = None && a <> b then
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "merged attribution depends on the pool size on %s"
+                     c.Circuit.name))
+          (arrays s1) (arrays s3)
+      end;
+      match !violation with Some m -> Fail m | None -> Pass
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -629,6 +732,10 @@ let all =
     { name = "enrich-p0";
       doc = "P0 coverage, detection flags and ledger dispositions cohere";
       check = check_enrich_p0 };
+    { name = "attrib";
+      doc = "per-net effort attribution is conserved against the global \
+             counters and jobs-invariant";
+      check = check_attrib };
   ]
 
 let find name = List.find_opt (fun o -> String.equal o.name name) all

@@ -10,6 +10,7 @@ module Metrics = Pdf_obs.Metrics
 module Span = Pdf_obs.Span
 module Log = Pdf_obs.Log
 module Ledger = Pdf_obs.Ledger
+module Attrib = Pdf_obs.Attrib
 
 let m_delta_evals = Metrics.counter "atpg.delta_evals"
 
@@ -152,10 +153,15 @@ let contradicts_implied implied reqs =
         && Req.compatible_bit v.Pdf_values.Triple.v3 req.Req.r3))
     reqs
 
-let generate ?ledger c config ~faults ~primaries ~secondary_pools =
+let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
   Span.with_ "atpg" @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let engine = Justify.create c in
+  (* One attribution sheet for everything this (single-domain) run owns:
+     the justify engine, the incremental refresh state and the candidate
+     delta scans all bump it unsynchronised; it is merged into the
+     shared store once, at the end of the run. *)
+  let sheet = Option.map Attrib.fresh attrib in
+  let engine = Justify.create ?attrib:sheet c in
   let runs0 = Justify.runs engine and trials0 = Justify.trials engine in
   (* Per-test value refresh.  Consecutive accepted tests within one
      compaction pass differ in a handful of PI bits, so with the
@@ -166,8 +172,16 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
   let inc_state =
     if Wsim.incsim_enabled () then
       let s = Array.init 3 (fun _ -> Array.make (Circuit.num_nets c) Bit.X) in
-      Some (s, Inc_sim.create c ~s)
+      Some (s, Inc_sim.create ?attrib:sheet c ~s)
     else None
+  in
+  (* Candidate-scan attribution: charge every delta evaluation to the
+     candidate's requirement nets (shadowing the bare [delta]). *)
+  let delta acc reqs =
+    (match sheet with
+    | Some a -> Attrib.note_cand_scan a reqs
+    | None -> ());
+    delta acc reqs
   in
   let simulate_test test =
     match inc_state with
@@ -263,6 +277,33 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
   let reject_reason = Array.make n `Never in
   let folded_at = Array.make n (-1) in
   let detected_via : (int * string) option array = Array.make n None in
+  (* Per-fault justification effort, accumulated over every search that
+     targeted the fault — its primary attempt plus each candidate
+     attempt — and the forensics of its most recent conflicting
+     attempt.  All deltas come from the per-engine scalar counters, so
+     the recorded figures are engine- and jobs-invariant like the rest
+     of the ledger. *)
+  let eff_runs = Array.make n 0
+  and eff_trials = Array.make n 0
+  and eff_backtracks = Array.make n 0
+  and eff_resim_gates = Array.make n 0 in
+  let last_conflict : Justify.forensics option array = Array.make n None in
+  let targeted_run i f =
+    let r0 = Justify.runs engine
+    and t0 = Justify.trials engine
+    and b0 = Justify.backtracks engine
+    and g0 = Justify.resim_gates engine in
+    Justify.reset_forensics engine;
+    let res = f () in
+    eff_runs.(i) <- eff_runs.(i) + (Justify.runs engine - r0);
+    eff_trials.(i) <- eff_trials.(i) + (Justify.trials engine - t0);
+    eff_backtracks.(i) <- eff_backtracks.(i) + (Justify.backtracks engine - b0);
+    eff_resim_gates.(i) <-
+      eff_resim_gates.(i) + (Justify.resim_gates engine - g0);
+    let fo = Justify.forensics engine in
+    if fo.Justify.last_net >= 0 then last_conflict.(i) <- Some fo;
+    res
+  in
   let next_test_id = ref 0 in
   let cur_test_id = ref (-1) in
   let cur_folded = ref [] in
@@ -314,7 +355,10 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
         None
       end
       else begin
-        match Justify.run engine ~rng ~reqs:(reqs_with st.acc updates) with
+        match
+          targeted_run i (fun () ->
+              Justify.run engine ~rng ~reqs:(reqs_with st.acc updates))
+        with
         | Some test ->
           st.test <- test;
           st.values <- simulate_test test;
@@ -423,7 +467,10 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
       let j_runs0 = Justify.runs engine
       and j_trials0 = Justify.trials engine
       and j_bt0 = Justify.backtracks engine in
-      (match Justify.run engine ~rng ~reqs:faults.(p0).Fault_sim.reqs with
+      (match
+         targeted_run p0 (fun () ->
+             Justify.run engine ~rng ~reqs:faults.(p0).Fault_sim.reqs)
+       with
       | None ->
         incr aborts;
         Metrics.incr m_primary_aborts
@@ -531,14 +578,45 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
                 ("reason", Ledger.S reason);
               ]
           in
+          let effort =
+            [
+              ( "effort",
+                Ledger.O
+                  [
+                    ("runs", Ledger.I eff_runs.(i));
+                    ("trials", Ledger.I eff_trials.(i));
+                    ("backtracks", Ledger.I eff_backtracks.(i));
+                    ("resim_gates", Ledger.I eff_resim_gates.(i));
+                  ] );
+            ]
+          in
+          let forensic =
+            match last_conflict.(i) with
+            | Some fo ->
+              [
+                ( "last_conflict",
+                  Ledger.O
+                    [
+                      ("net", Ledger.I fo.Justify.last_net);
+                      ( "name",
+                        Ledger.S (Circuit.net_name c fo.Justify.last_net) );
+                      ("level", Ledger.I fo.Justify.last_level);
+                      ("deepest_level", Ledger.I fo.Justify.deepest_level);
+                    ] );
+              ]
+            | None -> []
+          in
           Ledger.record l ~kind:"fault"
             ([ ("id", Ledger.I i); ("fault", Ledger.S (fault_name i)) ]
-            @ disposition))
+            @ disposition @ effort @ forensic))
         faults);
   Option.iter
     (fun (_, inc) ->
       Inc_sim.record ~num_gates:(Circuit.num_gates c) (Inc_sim.stats inc))
     inc_state;
+  (match attrib, sheet with
+  | Some store, Some sh -> Attrib.merge store sh
+  | _ -> ());
   let result =
     {
       tests = List.rev !tests;
@@ -555,7 +633,7 @@ let generate ?ledger c config ~faults ~primaries ~secondary_pools =
     (Fault_sim.count detected) (Array.length faults) !aborts;
   result
 
-let basic ?ledger c config ~faults =
+let basic ?ledger ?attrib c config ~faults =
   let ids = List.init (Array.length faults) (fun i -> i) in
   let pools =
     match config.ordering with
@@ -563,18 +641,19 @@ let basic ?ledger c config ~faults =
     | Ordering.Arbitrary | Ordering.Length_based | Ordering.Value_based ->
       [ ids ]
   in
-  generate ?ledger c config ~faults ~primaries:ids ~secondary_pools:pools
+  generate ?ledger ?attrib c config ~faults ~primaries:ids
+    ~secondary_pools:pools
 
-let enrich ?ledger c ~seed ~faults ~p0 ~p1 =
-  generate ?ledger c
+let enrich ?ledger ?attrib c ~seed ~faults ~p0 ~p1 =
+  generate ?ledger ?attrib c
     { ordering = Ordering.Value_based; seed }
     ~faults ~primaries:p0 ~secondary_pools:[ p0; p1 ]
 
-let enrich_multi ?ledger c ~seed ~faults ~pools =
+let enrich_multi ?ledger ?attrib c ~seed ~faults ~pools =
   match pools with
   | [] -> invalid_arg "Atpg.enrich_multi: no pools"
   | first :: _ ->
-    generate ?ledger c
+    generate ?ledger ?attrib c
       { ordering = Ordering.Value_based; seed }
       ~faults ~primaries:first ~secondary_pools:pools
 

@@ -45,6 +45,7 @@ type result = {
 
 val generate :
   ?ledger:Pdf_obs.Ledger.t ->
+  ?attrib:Pdf_obs.Attrib.t ->
   Pdf_circuit.Circuit.t ->
   config ->
   faults:Fault_sim.prepared array ->
@@ -61,13 +62,24 @@ val generate :
     prepared fault with its disposition — [detected] (by which test and
     via [primary]/[folded]/[accidental]), [aborted] (targeted as a
     primary, justification found no test) or [uncovered] (with the last
-    rejection reason).  Records carry no timestamps and are appended by
-    the sequential generation loop only, so the ledger JSONL is
-    byte-identical across [--jobs] values and the scalar/packed
-    simulation engines. *)
+    rejection reason) — plus its accumulated justification [effort]
+    (runs, trials, backtracks, semantic resim-gate total over every
+    search that targeted it) and, when any targeted attempt hit a
+    requirement conflict, a [last_conflict] object naming the blamed
+    net, its level and the deepest conflict level reached (abort
+    forensics, DESIGN.md §14).  Records carry no timestamps and are
+    appended by the sequential generation loop only, so the ledger
+    JSONL is byte-identical across [--jobs] values and the
+    scalar/packed simulation engines.
+
+    When [attrib] is given the run charges per-net effort — justify
+    trial loop, incremental refreshes, candidate delta scans — to a
+    fresh {!Pdf_obs.Attrib} sheet, merged into the store once at the
+    end of the run. *)
 
 val basic :
   ?ledger:Pdf_obs.Ledger.t ->
+  ?attrib:Pdf_obs.Attrib.t ->
   Pdf_circuit.Circuit.t ->
   config ->
   faults:Fault_sim.prepared array ->
@@ -77,6 +89,7 @@ val basic :
 
 val enrich :
   ?ledger:Pdf_obs.Ledger.t ->
+  ?attrib:Pdf_obs.Attrib.t ->
   Pdf_circuit.Circuit.t ->
   seed:int ->
   faults:Fault_sim.prepared array ->
@@ -88,6 +101,7 @@ val enrich :
 
 val enrich_multi :
   ?ledger:Pdf_obs.Ledger.t ->
+  ?attrib:Pdf_obs.Attrib.t ->
   Pdf_circuit.Circuit.t ->
   seed:int ->
   faults:Fault_sim.prepared array ->

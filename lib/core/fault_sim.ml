@@ -155,10 +155,18 @@ let pack_batch c (tests : Test_pair.t array) (lo, hi) =
    independent of which domain ran the batch; the stats travel back with
    the result and are folded into the sim.inc.* metrics centrally, in
    fixed batch order, so the metrics stay jobs-invariant. *)
-let sim_batch c ~w1 ~w3 ~lanes =
+let sim_batch ?attrib c ~w1 ~w3 ~lanes =
   if Wsim.incsim_enabled () then begin
-    let inc = Wsim.Inc.create c ~lanes in
+    (* One attribution sheet per batch, merged immediately: merging is
+       commutative integer addition under the store's lock, so the
+       merged totals are identical whichever domain ran the batch and
+       in whatever order batches finish. *)
+    let sheet = Option.map Pdf_obs.Attrib.fresh attrib in
+    let inc = Wsim.Inc.create ?attrib:sheet c ~lanes in
     Wsim.Inc.assign inc ~w1 ~w3;
+    (match attrib, sheet with
+    | Some store, Some sh -> Pdf_obs.Attrib.merge store sh
+    | _ -> ());
     (Wsim.Inc.planes inc, Some (Wsim.Inc.stats inc))
   end
   else (Wsim.simulate c ~w1 ~w3 ~lanes, None)
@@ -172,9 +180,9 @@ let record_batch_stats c parts =
 (* Word-parallel scan over one batch, metrics-free: the caller accounts
    centrally so totals are identical to the scalar path and independent
    of how batches are distributed over domains. *)
-let detect_batch c tests faults bound =
+let detect_batch ?attrib c tests faults bound =
   let w1, w3, lanes = pack_batch c tests bound in
-  let planes, inc_stats = sim_batch c ~w1 ~w3 ~lanes in
+  let planes, inc_stats = sim_batch ?attrib c ~w1 ~w3 ~lanes in
   let detected = Array.make (Array.length faults) false in
   Array.iteri
     (fun i p ->
@@ -204,7 +212,7 @@ let or_merge nf partials =
     partials;
   detected
 
-let detected_by_tests ?pool c tests faults =
+let detected_by_tests ?pool ?attrib c tests faults =
   Span.with_ "fault-sim" @@ fun () ->
   let pool =
     match pool with Some p -> p | None -> Pdf_par.Pool.default ()
@@ -218,7 +226,7 @@ let detected_by_tests ?pool c tests faults =
     let tests = Array.of_list tests in
     let bounds = Wsim.batch_bounds n_tests in
     let partials =
-      Pdf_par.Pool.map_array pool (detect_batch c tests faults) bounds
+      Pdf_par.Pool.map_array pool (detect_batch ?attrib c tests faults) bounds
     in
     record_batch_stats c partials;
     let detected = or_merge (Array.length faults) (Array.map fst partials) in
@@ -269,9 +277,9 @@ let detected_by_tests ?pool c tests faults =
 
 (* One word batch of matrix rows: simulate once, then scatter each
    fault's satisfaction mask into the per-test rows. *)
-let matrix_batch c tests faults (lo, hi) =
+let matrix_batch ?attrib c tests faults (lo, hi) =
   let w1, w3, lanes = pack_batch c tests (lo, hi) in
-  let planes, inc_stats = sim_batch c ~w1 ~w3 ~lanes in
+  let planes, inc_stats = sim_batch ?attrib c ~w1 ~w3 ~lanes in
   let nf = Array.length faults in
   let rows = Array.init lanes (fun _ -> Array.make nf false) in
   Array.iteri
@@ -288,7 +296,7 @@ let matrix_row c faults test =
   let values = Test_pair.simulate c test in
   Array.map (fun p -> detects_values values p) faults
 
-let detect_matrix ?pool c tests faults =
+let detect_matrix ?pool ?attrib c tests faults =
   Span.with_ "fault-sim" @@ fun () ->
   let pool =
     match pool with Some p -> p | None -> Pdf_par.Pool.default ()
@@ -299,7 +307,7 @@ let detect_matrix ?pool c tests faults =
     if packed_enabled () && n_tests >= Word.lanes then begin
       let bounds = Wsim.batch_bounds n_tests in
       let parts =
-        Pdf_par.Pool.map_array pool (matrix_batch c tests faults) bounds
+        Pdf_par.Pool.map_array pool (matrix_batch ?attrib c tests faults) bounds
       in
       record_batch_stats c parts;
       Metrics.add m_word_batches (Array.length bounds);

@@ -60,6 +60,7 @@ val detected_by_test :
 
 val detected_by_tests :
   ?pool:Pdf_par.Pool.t ->
+  ?attrib:Pdf_obs.Attrib.t ->
   Pdf_circuit.Circuit.t ->
   Test_pair.t list ->
   prepared array ->
@@ -73,10 +74,17 @@ val detected_by_tests :
     three paths produce bit-identical flags, and the metric totals
     ([fault_sim.simulations], [fault_sim.detections], and for the packed
     path [fault_sim.word_batches]/[fault_sim.lanes_used]) are
-    jobs-invariant.  [pool] defaults to {!Pdf_par.Pool.default}. *)
+    jobs-invariant.  [pool] defaults to {!Pdf_par.Pool.default}.
+
+    When [attrib] is given and the packed incremental engine runs, each
+    batch charges its dirty-cone gate re-evaluations to a fresh
+    {!Pdf_obs.Attrib} sheet merged into the store — commutative sums,
+    so the merged totals are jobs-invariant (the counts themselves are
+    engine-variant; see {!Pdf_obs.Attrib}). *)
 
 val detect_matrix :
   ?pool:Pdf_par.Pool.t ->
+  ?attrib:Pdf_obs.Attrib.t ->
   Pdf_circuit.Circuit.t ->
   Test_pair.t list ->
   prepared array ->

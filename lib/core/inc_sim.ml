@@ -21,11 +21,12 @@ type t = {
   blen : int array;
   queued : bool array;
   st : Wsim.Inc.stats;
+  att : Pdf_obs.Attrib.sheet option;
   mutable lo : int;
   mutable hi : int;
 }
 
-let create ?gate_mask c ~s =
+let create ?attrib ?gate_mask c ~s =
   let n = Circuit.num_nets c in
   let ng = Circuit.num_gates c in
   let np = c.Circuit.num_pis in
@@ -50,6 +51,7 @@ let create ?gate_mask c ~s =
     blen = Array.make (Array.length lg) 0;
     queued = Array.make ng false;
     st = { Wsim.Inc.assigns = 0; resim_gates = 0; early_stops = 0 };
+    att = attrib;
     lo = max_int;
     hi = -1;
   }
@@ -105,6 +107,12 @@ let propagate t =
       let g = t.c.Circuit.gates.(gi) in
       let out = t.c.Circuit.num_pis + gi in
       t.st.Wsim.Inc.resim_gates <- t.st.Wsim.Inc.resim_gates + 1;
+      (match t.att with
+      | Some a ->
+        a.Pdf_obs.Attrib.inc_resims.(out) <-
+          a.Pdf_obs.Attrib.inc_resims.(out) + 1;
+        a.Pdf_obs.Attrib.t_inc_resims <- a.Pdf_obs.Attrib.t_inc_resims + 1
+      | None -> ());
       let changed = ref false in
       for k = 0 to 2 do
         let sk = t.s.(k) in

@@ -21,12 +21,19 @@
 type t
 
 val create :
-  ?gate_mask:bool array -> Pdf_circuit.Circuit.t -> s:Pdf_values.Bit.t array array -> t
-(** [create ?gate_mask c ~s] wraps the caller's state [s] (aliased, not
-    copied).  [s] must be [3 x num_nets] and all-[X] — the fixpoint of
-    the all-[X] input, matching the fresh remembered assignment.
-    [gate_mask], when given, must have one entry per gate; it is
-    copied.  Raises [Invalid_argument] on shape mismatches. *)
+  ?attrib:Pdf_obs.Attrib.sheet ->
+  ?gate_mask:bool array ->
+  Pdf_circuit.Circuit.t ->
+  s:Pdf_values.Bit.t array array ->
+  t
+(** [create ?attrib ?gate_mask c ~s] wraps the caller's state [s]
+    (aliased, not copied).  [s] must be [3 x num_nets] and all-[X] — the
+    fixpoint of the all-[X] input, matching the fresh remembered
+    assignment.  [gate_mask], when given, must have one entry per gate;
+    it is copied.  When [attrib] is given, every dirty-cone gate
+    re-evaluation bumps the sheet's [inc_resims] counter for the gate's
+    output net (engine-variant attribution, {!Pdf_obs.Attrib}).  Raises
+    [Invalid_argument] on shape mismatches. *)
 
 val set_pi : t -> int -> v1:Pdf_values.Bit.t -> v3:Pdf_values.Bit.t -> unit
 (** Install PI [pi]'s two pattern values; the intermediate component is

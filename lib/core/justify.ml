@@ -6,6 +6,7 @@ module Two_pattern = Pdf_sim.Two_pattern
 module Wsim = Pdf_bitsim.Wsim
 module Metrics = Pdf_obs.Metrics
 module Span = Pdf_obs.Span
+module Attrib = Pdf_obs.Attrib
 
 (* All justification accounting lives in the pdf_obs metrics registry
    (process-wide, monotonic); [runs]/[trials] below read these. *)
@@ -13,6 +14,19 @@ let m_runs = Metrics.counter "justify.runs"
 let m_trials = Metrics.counter "justify.trials"
 let m_conflicts = Metrics.counter "justify.conflicts"
 let m_backtracks = Metrics.counter "justify.backtracks"
+
+(* Effort counters behind the attribution layer (DESIGN.md §14).  All
+   three are semantic — defined by the search, not the engine — so they
+   are byte-identical across the PDF_INCSIM/PDF_BITSIM toggles:
+   [trial_evals] counts overlay gate evaluations (pure scalar code),
+   [resim_gates] charges every resimulation call its full-pass cost
+   (cone size), whichever engine actually ran, and [conflict_hits]
+   counts requirement-mismatch events wherever they are detected.  The
+   per-net counterparts live in {!Pdf_obs.Attrib} sheets; the attrib
+   oracle checks conservation between the two. *)
+let m_trial_evals = Metrics.counter "justify.trial_evals"
+let m_resim_gates = Metrics.counter "justify.resim_gates"
+let m_conflict_hits = Metrics.counter "justify.conflict_hits"
 
 let h_backtrack_depth =
   Metrics.histogram
@@ -25,18 +39,73 @@ let h_backtrack_depth =
    only ever driven from one domain at a time. *)
 type t = {
   circuit : Circuit.t;
+  att : Attrib.sheet option;
   mutable e_runs : int;
   mutable e_trials : int;
   mutable e_backtracks : int;
+  mutable e_resim_calls : int;
+  mutable e_resim_gates : int;
+  (* Abort forensics, maintained unconditionally (cheap scalar writes):
+     the most recent requirement-conflict net with its level, and the
+     deepest (highest-level) conflict net seen since the last
+     [reset_forensics].  Every conflict event is detected by scalar,
+     engine-independent code, so these are byte-identical across
+     engines and job counts. *)
+  mutable last_conflict_net : int;
+  mutable last_conflict_level : int;
+  mutable deepest_conflict_level : int;
 }
 
-let create circuit = { circuit; e_runs = 0; e_trials = 0; e_backtracks = 0 }
+let create ?attrib circuit =
+  {
+    circuit;
+    att = attrib;
+    e_runs = 0;
+    e_trials = 0;
+    e_backtracks = 0;
+    e_resim_calls = 0;
+    e_resim_gates = 0;
+    last_conflict_net = -1;
+    last_conflict_level = -1;
+    deepest_conflict_level = -1;
+  }
 
 let runs t = t.e_runs
 
 let trials t = t.e_trials
 
 let backtracks t = t.e_backtracks
+
+let resim_calls t = t.e_resim_calls
+
+let resim_gates t = t.e_resim_gates
+
+type forensics = { last_net : int; last_level : int; deepest_level : int }
+
+let forensics t =
+  {
+    last_net = t.last_conflict_net;
+    last_level = t.last_conflict_level;
+    deepest_level = t.deepest_conflict_level;
+  }
+
+let reset_forensics t =
+  t.last_conflict_net <- -1;
+  t.last_conflict_level <- -1;
+  t.deepest_conflict_level <- -1
+
+let note_conflict engine net =
+  Metrics.incr m_conflict_hits;
+  let level = engine.circuit.Circuit.level.(net) in
+  engine.last_conflict_net <- net;
+  engine.last_conflict_level <- level;
+  if level > engine.deepest_conflict_level then
+    engine.deepest_conflict_level <- level;
+  match engine.att with
+  | Some a ->
+    a.Attrib.conflicts.(net) <- a.Attrib.conflicts.(net) + 1;
+    a.Attrib.t_conflicts <- a.Attrib.t_conflicts + 1
+  | None -> ()
 
 exception No_test
 
@@ -45,6 +114,7 @@ let comp_of_pattern = function 1 -> 0 | 3 -> 2 | _ -> invalid_arg "pattern"
 
 type search = {
   c : Circuit.t;
+  eng : t; (* owning engine: effort accounting and forensics *)
   rng : Rng.t;
   r : Bit.t array array; (* requirements, 3 x nets; X = unconstrained *)
   req_nets : int array;
@@ -58,6 +128,7 @@ type search = {
   tstamp : int array array;
   mutable trial_id : int;
   mutable unspecified : int;
+  mutable resims : int; (* resimulation calls, for deferred attribution *)
 }
 
 let mismatch req value =
@@ -97,6 +168,14 @@ let compute_cone c req_nets =
    of the full cone pass below — same fixpoint, so the search (and every
    test it emits) is byte-identical either way. *)
 let resim st =
+  (* Semantic cost: a full pass over the cone, whichever engine runs.
+     Charged per call so the global counter, the per-engine counter and
+     (via [record_search]) the per-net attribution stay conserved and
+     engine-invariant. *)
+  st.resims <- st.resims + 1;
+  st.eng.e_resim_calls <- st.eng.e_resim_calls + 1;
+  st.eng.e_resim_gates <- st.eng.e_resim_gates + Array.length st.cone_gates;
+  Metrics.add m_resim_gates (Array.length st.cone_gates);
   match st.inc with
   | Some inc ->
     Array.iter
@@ -120,13 +199,23 @@ let resim st =
         done)
       st.cone_gates
 
-let conflict_now st =
-  Array.exists
-    (fun net ->
-      mismatch st.r.(0).(net) st.s.(0).(net)
-      || mismatch st.r.(1).(net) st.s.(1).(net)
-      || mismatch st.r.(2).(net) st.s.(2).(net))
-    st.req_nets
+(* First requirement net whose persistent value contradicts it — the
+   net blamed when an assignment's resimulation reveals a conflict. *)
+let conflict_net st =
+  let n = Array.length st.req_nets in
+  let rec go i =
+    if i >= n then None
+    else
+      let net = st.req_nets.(i) in
+      if
+        mismatch st.r.(0).(net) st.s.(0).(net)
+        || mismatch st.r.(1).(net) st.s.(1).(net)
+        || mismatch st.r.(2).(net) st.s.(2).(net)
+      then Some net
+      else go (i + 1)
+  in
+  go 0
+
 
 let satisfied_now st =
   let ok k net =
@@ -145,53 +234,77 @@ exception Trial_conflict
 let trial engine st pi j b =
   Metrics.incr m_trials;
   engine.e_trials <- engine.e_trials + 1;
+  let att = engine.att in
+  (match att with
+  | Some a ->
+    a.Attrib.trials.(pi) <- a.Attrib.trials.(pi) + 1;
+    a.Attrib.t_trials <- a.Attrib.t_trials + 1
+  | None -> ());
   st.trial_id <- st.trial_id + 1;
   let id = st.trial_id in
+  let evals = ref 0 in
   let read k net =
     if st.tstamp.(k).(net) = id then st.tval.(k).(net) else st.s.(k).(net)
   in
   let write k net v =
     st.tval.(k).(net) <- v;
     st.tstamp.(k).(net) <- id;
-    if mismatch st.r.(k).(net) v then raise Trial_conflict
+    if mismatch st.r.(k).(net) v then begin
+      note_conflict engine net;
+      raise Trial_conflict
+    end
   in
   let kj = comp_of_pattern j in
-  try
-    let newv = Bit.of_bool b in
-    if not (Bit.equal st.s.(kj).(pi) newv) then write kj pi newv;
-    let b1 = if j = 1 then newv else st.a1.(pi) in
-    let b3 = if j = 3 then newv else st.a3.(pi) in
-    let mid = Two_pattern.middle_of_pair b1 b3 in
-    if not (Bit.equal st.s.(1).(pi) mid) then write 1 pi mid;
-    let propagate k =
-      Array.iter
-        (fun gi ->
-          let g = st.c.Circuit.gates.(gi) in
-          let touched =
-            Array.exists
-              (fun fanin -> st.tstamp.(k).(fanin) = id)
-              g.Circuit.fanins
-          in
-          if touched then begin
-            let out = Circuit.net_of_gate st.c gi in
-            let v = eval_gate_get g (read k) in
-            if not (Bit.equal v st.s.(k).(out)) then write k out v
-          end)
-        st.cone_gates
-    in
-    propagate kj;
-    propagate 1;
-    false
-  with Trial_conflict -> true
+  let conflicted =
+    try
+      let newv = Bit.of_bool b in
+      if not (Bit.equal st.s.(kj).(pi) newv) then write kj pi newv;
+      let b1 = if j = 1 then newv else st.a1.(pi) in
+      let b3 = if j = 3 then newv else st.a3.(pi) in
+      let mid = Two_pattern.middle_of_pair b1 b3 in
+      if not (Bit.equal st.s.(1).(pi) mid) then write 1 pi mid;
+      let propagate k =
+        Array.iter
+          (fun gi ->
+            let g = st.c.Circuit.gates.(gi) in
+            let touched =
+              Array.exists
+                (fun fanin -> st.tstamp.(k).(fanin) = id)
+                g.Circuit.fanins
+            in
+            if touched then begin
+              let out = Circuit.net_of_gate st.c gi in
+              incr evals;
+              (match att with
+              | Some a ->
+                a.Attrib.trial_evals.(out) <- a.Attrib.trial_evals.(out) + 1;
+                a.Attrib.t_trial_evals <- a.Attrib.t_trial_evals + 1
+              | None -> ());
+              let v = eval_gate_get g (read k) in
+              if not (Bit.equal v st.s.(k).(out)) then write k out v
+            end)
+          st.cone_gates
+      in
+      propagate kj;
+      propagate 1;
+      false
+    with Trial_conflict -> true
+  in
+  if !evals > 0 then Metrics.add m_trial_evals !evals;
+  conflicted
 
-let assign st pi j b =
+let assign engine st pi j b =
   (match j with
   | 1 -> st.a1.(pi) <- Bit.of_bool b
   | 3 -> st.a3.(pi) <- Bit.of_bool b
   | _ -> invalid_arg "pattern");
   st.unspecified <- st.unspecified - 1;
   resim st;
-  if conflict_now st then raise No_test
+  match conflict_net st with
+  | Some net ->
+    note_conflict engine net;
+    raise No_test
+  | None -> ()
 
 (* One pass over all unspecified cone bits, excluding values whose trial
    conflicts; repeated until no new value is assigned. *)
@@ -209,11 +322,11 @@ let necessary_values engine st =
               let c1 = trial engine st pi j true in
               if c0 && c1 then raise No_test
               else if c0 then begin
-                assign st pi j true;
+                assign engine st pi j true;
                 continue := true
               end
               else if c1 then begin
-                assign st pi j false;
+                assign engine st pi j false;
                 continue := true
               end
             end)
@@ -223,7 +336,7 @@ let necessary_values engine st =
 
 (* Decision step: prefer making a half-specified input stable (the paper's
    rule), otherwise specify a random unspecified bit randomly. *)
-let decide st =
+let decide engine st =
   let half_specified =
     Array.to_list st.cone_pis
     |> List.find_opt (fun pi ->
@@ -232,8 +345,8 @@ let decide st =
   match half_specified with
   | Some pi ->
     if Bit.is_definite st.a1.(pi) then
-      assign st pi 3 (Bit.equal st.a1.(pi) Bit.One)
-    else assign st pi 1 (Bit.equal st.a3.(pi) Bit.One)
+      assign engine st pi 3 (Bit.equal st.a1.(pi) Bit.One)
+    else assign engine st pi 1 (Bit.equal st.a3.(pi) Bit.One)
   | None ->
     let unspecified =
       Array.to_list st.cone_pis
@@ -247,7 +360,7 @@ let decide st =
     | [] -> ()
     | bits ->
       let pi, j = List.nth bits (Rng.int st.rng (List.length bits)) in
-      assign st pi j (Rng.bool st.rng))
+      assign engine st pi j (Rng.bool st.rng))
 
 let merge_reqs reqs =
   let acc = Hashtbl.create 16 in
@@ -284,7 +397,8 @@ let build_test st =
   Test_pair.create v1 v3
 
 (* Shared state construction for both search strategies. *)
-let make_search c rng merged =
+let make_search engine rng merged =
+  let c = engine.circuit in
   let n = Circuit.num_nets c in
   let req_nets = Array.of_list (List.map fst merged) in
   let r = Array.init 3 (fun _ -> Array.make n Bit.X) in
@@ -304,12 +418,13 @@ let make_search c rng merged =
     if Wsim.incsim_enabled () then begin
       let mask = Array.make (Circuit.num_gates c) false in
       Array.iter (fun gi -> mask.(gi) <- true) cone_gates;
-      Some (Inc_sim.create ~gate_mask:mask c ~s)
+      Some (Inc_sim.create ?attrib:engine.att ~gate_mask:mask c ~s)
     end
     else None
   in
   {
     c;
+    eng = engine;
     rng;
     r;
     req_nets;
@@ -323,12 +438,27 @@ let make_search c rng merged =
     tstamp = Array.init 3 (fun _ -> Array.make n 0);
     trial_id = 0;
     unspecified = 2 * Array.length cone_pis;
+    resims = 0;
   }
 
 (* Fold this search's incremental-simulation work into the sim.inc.*
    metrics.  The denominator is the cone size — what the full-pass
-   [resim] would have evaluated per call. *)
+   [resim] would have evaluated per call.  When the engine carries an
+   attribution sheet, the search's resimulation effort is flushed here
+   in one O(cone) pass — [resims x cone] charged to every cone gate's
+   output net — instead of a per-call cone walk on the hot path. *)
 let record_search st =
+  (match st.eng.att with
+  | Some a when st.resims > 0 ->
+    a.Attrib.t_resim_calls <- a.Attrib.t_resim_calls + st.resims;
+    a.Attrib.t_resim_gates <-
+      a.Attrib.t_resim_gates + (st.resims * Array.length st.cone_gates);
+    Array.iter
+      (fun gi ->
+        let net = Circuit.net_of_gate st.c gi in
+        a.Attrib.resim_cone.(net) <- a.Attrib.resim_cone.(net) + st.resims)
+      st.cone_gates
+  | Some _ | None -> ());
   match st.inc with
   | Some inc ->
     Inc_sim.record ~num_gates:(Array.length st.cone_gates) (Inc_sim.stats inc)
@@ -342,10 +472,16 @@ type complete_outcome =
 exception Budget_exhausted
 
 (* Deterministic branch-and-bound search over the cone input bits. *)
-let run_complete ?(max_backtracks = 10_000) engine ~reqs =
-  Span.with_ "justify" @@ fun () ->
+let note_run engine =
   Metrics.incr m_runs;
   engine.e_runs <- engine.e_runs + 1;
+  match engine.att with
+  | Some a -> a.Attrib.t_runs <- a.Attrib.t_runs + 1
+  | None -> ()
+
+let run_complete ?(max_backtracks = 10_000) engine ~reqs =
+  Span.with_ "justify" @@ fun () ->
+  note_run engine;
   let c = engine.circuit in
   match merge_reqs reqs with
   | None ->
@@ -359,7 +495,7 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
   | Some merged -> (
     (* The rng is never consulted: decisions are deterministic and
        non-cone bits are filled with zeros. *)
-    let st = make_search c (Rng.create 0) merged in
+    let st = make_search engine (Rng.create 0) merged in
     let backtracks = ref 0 in
     let snapshot () = (Array.copy st.a1, Array.copy st.a3, st.unspecified) in
     let restore (a1, a3, unspecified) =
@@ -368,11 +504,18 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
       st.unspecified <- unspecified;
       resim st
     in
-    let spend depth =
+    (* [pi] is the decision input being retracted; the backtrack is
+       charged to its net in the attribution sheet. *)
+    let spend depth pi =
       incr backtracks;
       engine.e_backtracks <- engine.e_backtracks + 1;
       Metrics.incr m_backtracks;
       Metrics.observe_int h_backtrack_depth depth;
+      (match engine.att with
+      | Some a ->
+        a.Attrib.backtracks.(pi) <- a.Attrib.backtracks.(pi) + 1;
+        a.Attrib.t_backtracks <- a.Attrib.t_backtracks + 1
+      | None -> ());
       if !backtracks > max_backtracks then raise Budget_exhausted
     in
     (* The paper's decision preference, made deterministic: stabilise a
@@ -438,19 +581,19 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
               | b :: rest -> (
                 match
                   (try
-                     assign st pi j b;
+                     assign engine st pi j b;
                      `Ok
                    with No_test -> `Conflict)
                 with
                 | `Conflict ->
-                  spend depth;
+                  spend depth pi;
                   restore saved;
                   try_values rest
                 | `Ok -> (
                   match solve (depth + 1) with
                   | Some test -> Some test
                   | None ->
-                    spend depth;
+                    spend depth pi;
                     restore saved;
                     try_values rest))
             in
@@ -459,16 +602,17 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
     let outcome =
       try
         resim st;
-        if conflict_now st then begin
+        match conflict_net st with
+        | Some net ->
+          note_conflict engine net;
           Metrics.incr m_conflicts;
           Proved_unsatisfiable
-        end
-        else
+        | None -> (
           match solve 0 with
           | Some test -> Found test
           | None ->
             Metrics.incr m_conflicts;
-            Proved_unsatisfiable
+            Proved_unsatisfiable)
       with Budget_exhausted -> Gave_up
     in
     record_search st;
@@ -476,8 +620,7 @@ let run_complete ?(max_backtracks = 10_000) engine ~reqs =
 
 let run engine ~rng ~reqs =
   Span.with_ "justify" @@ fun () ->
-  Metrics.incr m_runs;
-  engine.e_runs <- engine.e_runs + 1;
+  note_run engine;
   let c = engine.circuit in
   match merge_reqs reqs with
   | None ->
@@ -489,14 +632,18 @@ let run engine ~rng ~reqs =
          (random_pattern rng c.Circuit.num_pis)
          (random_pattern rng c.Circuit.num_pis))
   | Some merged ->
-    let st = make_search c rng merged in
+    let st = make_search engine rng merged in
     let result =
       try
         resim st;
-        if conflict_now st then raise No_test;
+        (match conflict_net st with
+        | Some net ->
+          note_conflict engine net;
+          raise No_test
+        | None -> ());
         while st.unspecified > 0 do
           necessary_values engine st;
-          if st.unspecified > 0 then decide st
+          if st.unspecified > 0 then decide engine st
         done;
         if satisfied_now st then Some (build_test st) else None
       with No_test -> None

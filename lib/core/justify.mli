@@ -24,8 +24,16 @@ type t
     effort counters and scratch state: drive each engine from a single
     domain at a time (create one engine per concurrent ATPG run). *)
 
-val create : Pdf_circuit.Circuit.t -> t
-(** A fresh engine with zeroed {!runs}/{!trials} counters. *)
+val create : ?attrib:Pdf_obs.Attrib.sheet -> Pdf_circuit.Circuit.t -> t
+(** A fresh engine with zeroed {!runs}/{!trials} counters.  When
+    [attrib] is given, the engine charges per-net effort to the sheet
+    (DESIGN.md §14): trial simulations to the tried PI net, overlay
+    gate evaluations to the evaluated gate's output net, resimulation
+    calls to every cone gate (full-pass cost, engine-invariant),
+    requirement conflicts to the mismatching net, and complete-search
+    backtracks to the retracted decision input.  The sheet is bumped
+    without synchronisation — drive the engine from one domain at a
+    time, as always. *)
 
 val run :
   t ->
@@ -51,6 +59,41 @@ val backtracks : t -> int
 (** Backtracks spent by {e this} engine's {!run_complete} searches;
     per-engine, like {!runs} — the process-wide total is the
     [justify.backtracks] metric. *)
+
+val resim_calls : t -> int
+(** Resimulation calls this engine performed (each brings the persistent
+    cone state up to date with the current assignment). *)
+
+val resim_gates : t -> int
+(** Semantic resimulation effort: every resimulation call charged its
+    full-pass cost (the requirement cone's gate count), whichever
+    engine actually ran — byte-identical across [PDF_INCSIM] toggles.
+    Process-wide counterpart: the [justify.resim_gates] metric. *)
+
+(** {2 Abort forensics}
+
+    Every requirement-conflict event — a trial overlay contradicting a
+    required value, or an assignment's resimulation revealing a
+    mismatch — records the blamed net.  All conflict detection is
+    scalar, engine-independent code, so the forensics are byte-identical
+    across engines and job counts.  [Atpg.generate] resets them before
+    each targeted justification and persists them into the ledger's
+    per-fault records, where [pdfatpg why] renders them. *)
+
+type forensics = {
+  last_net : int;  (** most recent conflicting net, [-1] when none *)
+  last_level : int;  (** its circuit level, [-1] when none *)
+  deepest_level : int;
+      (** highest circuit level among all conflicting nets seen — how
+          deep into the cone the search frontier reached before giving
+          up; [-1] when none *)
+}
+
+val forensics : t -> forensics
+(** Conflict forensics accumulated since creation or the last
+    {!reset_forensics}. *)
+
+val reset_forensics : t -> unit
 
 (** {2 Complete search}
 

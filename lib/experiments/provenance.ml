@@ -129,6 +129,66 @@ let explain t query =
          @ List.map describe_undetectable undet_recs))
 
 (* ------------------------------------------------------------------ *)
+(* why                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let effort_int r k =
+  match Ledger.field r "effort" with
+  | Some (Ledger.O kvs) -> Option.value ~default:0 (assoc_int k kvs)
+  | _ -> 0
+
+(* The effort breakdown and abort forensics a "fault" record carries on
+   top of its disposition (DESIGN.md §14). *)
+let describe_effort r =
+  let b = Buffer.create 128 in
+  (match Ledger.field r "effort" with
+  | Some (Ledger.O kvs) ->
+    let geti k = Option.value ~default:0 (assoc_int k kvs) in
+    if geti "runs" = 0 then
+      Buffer.add_string b
+        "  no justification search ever targeted this fault\n"
+    else
+      Printf.bprintf b
+        "  justification effort charged to this fault: %d run(s), %d \
+         trials, %d backtracks, %d resim gate evals\n"
+        (geti "runs") (geti "trials") (geti "backtracks")
+        (geti "resim_gates")
+  | _ -> ());
+  (match Ledger.field r "last_conflict" with
+  | Some (Ledger.O kvs) ->
+    let geti k = Option.value ~default:(-1) (assoc_int k kvs) in
+    Printf.bprintf b
+      "  last requirement conflict: net %s (id %d, level %d); deepest \
+       conflict at level %d\n"
+      (Option.value ~default:"?" (assoc_string "name" kvs))
+      (geti "net") (geti "level") (geti "deepest_level")
+  | _ ->
+    if effort_int r "runs" > 0 then
+      Buffer.add_string b
+        "  no requirement conflict hit while targeting this fault\n");
+  Buffer.contents b
+
+(* [why] answers the same queries as [explain] — fault id or a name
+   substring — with the explanation plus the per-fault effort breakdown
+   and abort forensics.  Undetectable faults were eliminated before any
+   search ran, so they carry no effort and are described as by
+   [explain]. *)
+let why t query =
+  let fault_recs = Ledger.find t.ledger ~kind:"fault" (matches_query query) in
+  let undet_recs =
+    Ledger.find t.ledger ~kind:"undetectable" (matches_query query)
+  in
+  match (fault_recs, undet_recs) with
+  | [], [] -> Error (Printf.sprintf "no enumerated fault matches %S" query)
+  | _ ->
+    Ok
+      (String.concat ""
+         (List.map
+            (fun r -> describe_fault t.ledger r ^ describe_effort r)
+            fault_recs
+         @ List.map describe_undetectable undet_recs))
+
+(* ------------------------------------------------------------------ *)
 (* report                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +229,54 @@ let report t =
        count (cls "implication_conflict") undet);
     ];
   Buffer.add_string b (Table.render summary);
+  Buffer.add_char b '\n';
+  (* Abort/reject forensics: how much search effort each failure class
+     consumed.  Lower median over plain ints — no floats, so the report
+     stays byte-stable. *)
+  let median = function
+    | [] -> 0
+    | xs ->
+      let a = Array.of_list xs in
+      Array.sort Int.compare a;
+      a.((Array.length a - 1) / 2)
+  in
+  let breakdown =
+    Table.create ~title:"abort/reject breakdown"
+      [
+        ("class", Table.Left); ("faults", Table.Right);
+        ("med j.trials", Table.Right); ("max j.trials", Table.Right);
+        ("med resim gates", Table.Right); ("max resim gates", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (label, pred) ->
+      let rs = List.filter pred faults in
+      match rs with
+      | [] -> Table.add_row breakdown [ label; "0"; "-"; "-"; "-"; "-" ]
+      | _ ->
+        let trials = List.map (fun r -> effort_int r "trials") rs in
+        let resim = List.map (fun r -> effort_int r "resim_gates") rs in
+        Table.add_row breakdown
+          [
+            label;
+            string_of_int (List.length rs);
+            string_of_int (median trials);
+            string_of_int (List.fold_left max 0 trials);
+            string_of_int (median resim);
+            string_of_int (List.fold_left max 0 resim);
+          ])
+    [
+      ("aborted (primary justification)", disp "aborted");
+      ("uncovered: requirement conflict",
+       fun r -> disp "uncovered" r && reason "conflict" r);
+      ("uncovered: implied contradiction",
+       fun r -> disp "uncovered" r && reason "implied" r);
+      ("uncovered: search failed",
+       fun r -> disp "uncovered" r && reason "search" r);
+      ("uncovered: never targeted",
+       fun r -> disp "uncovered" r && reason "never_targeted" r);
+    ];
+  Buffer.add_string b (Table.render breakdown);
   Buffer.add_char b '\n';
   let per_test =
     Table.create

@@ -34,7 +34,17 @@ val explain : t -> string -> (string, string) result
     fault(s): [query] is a fault id (integer) or a substring of a fault
     name.  [Error] when nothing matches. *)
 
+val why : t -> string -> (string, string) result
+(** [why t query] — {!explain} plus the per-fault effort breakdown
+    (runs, trials, backtracks, semantic resim-gate total charged to the
+    fault across every search that targeted it) and abort forensics
+    (last conflicting net with its level, deepest conflict level) read
+    from the ledger's extended ["fault"] records (DESIGN.md §14).
+    Same query forms and [Error] behaviour as {!explain}. *)
+
 val report : t -> string
-(** Disposition summary, a per-test provenance table, and a consistency
+(** Disposition summary, an abort/reject breakdown (per failure class:
+    fault count, lower-median and max justification trials and
+    resim-gate totals), a per-test provenance table, and a consistency
     line checking that every enumerated fault has exactly one
     disposition. *)

@@ -18,13 +18,22 @@ type span_ev = {
   seq_e : int;
 }
 
+type counter_ev = {
+  c_name : string;
+  c_track : int;
+  c_ts_us : float;
+  c_value : int;
+}
+
 type t = {
   mutable rev_spans : span_ev list;
+  mutable rev_counters : counter_ev list;
   mutable count : int;
   mutex : Mutex.t;
 }
 
-let collector () = { rev_spans = []; count = 0; mutex = Mutex.create () }
+let collector () =
+  { rev_spans = []; rev_counters = []; count = 0; mutex = Mutex.create () }
 
 let sink t =
   Span.Emit
@@ -43,6 +52,17 @@ let sink t =
       t.rev_spans <- ev :: t.rev_spans;
       t.count <- t.count + 1;
       Mutex.unlock t.mutex)
+
+(* Counter ("C") events: one sample of a named value on a track, used by
+   the profile exporter to draw per-level effort as a counter track.
+   Insertion order is preserved at write time, so callers adding samples
+   in a deterministic order get byte-identical trace files. *)
+let counter t ~name ?(track = 0) ~ts_us ~value () =
+  let ev = { c_name = name; c_track = track; c_ts_us = ts_us; c_value = value } in
+  Mutex.lock t.mutex;
+  t.rev_counters <- ev :: t.rev_counters;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
 
 let size t = t.count
 
@@ -132,6 +152,19 @@ let to_json ?(process_name = "pdfatpg") t =
            (match ev.ph with B -> "B" | E -> "E")
            ev.ts_us ev.track))
     events;
+  let counters =
+    Mutex.lock t.mutex;
+    let cs = List.rev t.rev_counters in
+    Mutex.unlock t.mutex;
+    cs
+  in
+  List.iter
+    (fun cv ->
+      add_event
+        (Printf.sprintf
+           "{\"name\":%s,\"cat\":\"profile\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"value\":%d}}"
+           (Json_text.quote cv.c_name) cv.c_ts_us cv.c_track cv.c_value))
+    counters;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.add_char buf '\n';
   Buffer.contents buf

@@ -24,7 +24,16 @@ val sink : t -> Span.sink
     previous sink via {!Span.tee} to keep aggregation running. *)
 
 val size : t -> int
-(** Number of spans collected so far. *)
+(** Number of events (spans and counter samples) collected so far. *)
+
+val counter :
+  t -> name:string -> ?track:int -> ts_us:float -> value:int -> unit -> unit
+(** Record one Chrome counter-track ("C") sample: [name] becomes the
+    counter track's title, [value] its height at [ts_us].  Samples are
+    written after the span events, in insertion order, so callers that
+    add them deterministically get byte-identical trace files.  The
+    profile exporter uses this to draw per-level justification effort
+    as a counter track next to the span timeline. *)
 
 type phase = B | E
 

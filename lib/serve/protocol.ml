@@ -13,6 +13,7 @@ type request =
     }
   | Enrich of { circuit : string; params : Session.params; coverage : bool }
   | Explain of { circuit : string; params : Session.params; query : string }
+  | Why of { circuit : string; params : Session.params; query : string }
   | Report of { circuit : string; params : Session.params }
   | Ledger of { circuit : string; params : Session.params }
   | Metrics
@@ -25,6 +26,7 @@ let request_name = function
   | Atpg _ -> "atpg"
   | Enrich _ -> "enrich"
   | Explain _ -> "explain"
+  | Why _ -> "why"
   | Report _ -> "report"
   | Ledger _ -> "ledger"
   | Metrics -> "metrics"
@@ -171,6 +173,14 @@ let build_request kind fields =
   | "explain" ->
     check_fields fields (base @ [ "circuit"; "query" ] @ params_fields);
     Explain
+      {
+        circuit = circuit ();
+        params = get_params fields;
+        query = require_string fields "query";
+      }
+  | "why" ->
+    check_fields fields (base @ [ "circuit"; "query" ] @ params_fields);
+    Why
       {
         circuit = circuit ();
         params = get_params fields;

@@ -24,6 +24,9 @@ type request =
     }
   | Enrich of { circuit : string; params : Session.params; coverage : bool }
   | Explain of { circuit : string; params : Session.params; query : string }
+  | Why of { circuit : string; params : Session.params; query : string }
+      (** [explain] plus per-fault effort breakdown and abort forensics
+          (DESIGN.md §14); same query forms as [explain] *)
   | Report of { circuit : string; params : Session.params }
   | Ledger of { circuit : string; params : Session.params }
       (** the enrichment run's provenance ledger, streamed as JSONL

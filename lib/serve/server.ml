@@ -155,6 +155,7 @@ let params_of = function
   | Protocol.Atpg { params; _ }
   | Protocol.Enrich { params; _ }
   | Protocol.Explain { params; _ }
+  | Protocol.Why { params; _ }
   | Protocol.Report { params; _ }
   | Protocol.Ledger { params; _ } -> Some params
   | Protocol.Ping | Protocol.Hello | Protocol.Info _ | Protocol.Metrics
@@ -193,6 +194,8 @@ let execute st client ~id req =
       answer (Session.enrich st.session ~circuit ~params ~coverage)
     | Protocol.Explain { circuit; params; query } ->
       answer (Session.explain st.session ~circuit ~params ~query)
+    | Protocol.Why { circuit; params; query } ->
+      answer (Session.why st.session ~circuit ~params ~query)
     | Protocol.Report { circuit; params } ->
       answer (Session.report st.session ~circuit ~params)
     | Protocol.Ledger { circuit; params } ->

@@ -357,6 +357,20 @@ let explain t ~circuit:name ~params ~query =
               | Ok text -> Ok { text; tests = []; cached = false }
               | Error msg -> Error (No_match msg))))
 
+(* [why] shares explain's provenance cache and query resolution, so a
+   served answer is byte-identical to the CLI's for the same (circuit,
+   params, query). *)
+let why t ~circuit:name ~params ~query =
+  let key =
+    Printf.sprintf "why|%s|%s|%s" name (params_seed_key params) query
+  in
+  with_lock t (fun () ->
+      answered t ~key (fun () ->
+          with_provenance t ~circuit:name ~params (fun p ->
+              match Provenance.why p query with
+              | Ok text -> Ok { text; tests = []; cached = false }
+              | Error msg -> Error (No_match msg))))
+
 let report t ~circuit:name ~params =
   let key = Printf.sprintf "report|%s|%s" name (params_seed_key params) in
   with_lock t (fun () ->

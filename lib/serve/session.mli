@@ -104,9 +104,16 @@ val explain :
 (** The [pdfatpg explain] answer for one fault query (an id or a fault
     name substring), served from the cached enrichment provenance. *)
 
+val why :
+  t -> circuit:string -> params:params -> query:string ->
+  (answer, error) result
+(** The [pdfatpg why] answer: {!explain} plus the per-fault effort
+    breakdown and abort forensics (DESIGN.md §14).  Shares [explain]'s
+    provenance cache and query forms, so served bytes equal the CLI's. *)
+
 val report : t -> circuit:string -> params:params -> (answer, error) result
-(** The [pdfatpg report] answer: disposition summary, per-test
-    provenance and consistency check. *)
+(** The [pdfatpg report] answer: disposition summary, abort/reject
+    effort breakdown, per-test provenance and consistency check. *)
 
 val ledger_jsonl :
   t -> circuit:string -> params:params -> (answer, error) result

@@ -587,6 +587,185 @@ let test_report_consistent () =
   check Alcotest.bool "disposition summary present" true
     (contains "detected via folding")
 
+(* ------------------------------------------------------------------ *)
+(* Attribution: sheet algebra, profile determinism, why forensics      *)
+(* ------------------------------------------------------------------ *)
+
+module Attrib = Pdf_obs.Attrib
+module Hotspots = Pdf_experiments.Hotspots
+module Wsim = Pdf_bitsim.Wsim
+
+let contains s sub =
+  let ls = String.length s and lu = String.length sub in
+  let rec at i = i + lu <= ls && (String.sub s i lu = sub || at (i + 1)) in
+  at 0
+
+let test_attrib_sheet_ops () =
+  let store = Attrib.create ~nets:4 in
+  let s1 = Attrib.fresh store in
+  s1.Attrib.trials.(1) <- 3;
+  s1.Attrib.t_trials <- 3;
+  s1.Attrib.inc_resims.(2) <- 5;
+  s1.Attrib.t_inc_resims <- 5;
+  let s2 = Attrib.fresh store in
+  s2.Attrib.trials.(1) <- 2;
+  s2.Attrib.t_trials <- 2;
+  s2.Attrib.conflicts.(0) <- 1;
+  s2.Attrib.t_conflicts <- 1;
+  Attrib.merge store s1;
+  Attrib.merge store s2;
+  let m = Attrib.snapshot store in
+  check Alcotest.int "merged per-net trials" 5 m.Attrib.trials.(1);
+  check Alcotest.int "merged trial total" 5 m.Attrib.t_trials;
+  check Alcotest.int "merged conflicts" 1 m.Attrib.conflicts.(0);
+  check Alcotest.int "merged inc total" 5 m.Attrib.t_inc_resims;
+  (* Semantic totals exclude the engine-variant incremental counter. *)
+  check Alcotest.int "inc_resims not semantic" 0 (Attrib.semantic_total m 2);
+  check Alcotest.int "semantic per-net" 5 (Attrib.semantic_total m 1);
+  check Alcotest.int "semantic grand total" 6 (Attrib.grand_total m);
+  (* Snapshots are copies: later merges don't mutate them. *)
+  let s3 = Attrib.fresh store in
+  s3.Attrib.trials.(1) <- 10;
+  s3.Attrib.t_trials <- 10;
+  Attrib.merge store s3;
+  check Alcotest.int "snapshot unaffected by later merge" 5
+    m.Attrib.trials.(1)
+
+(* DESIGN.md §14: the exported profile carries only semantic effort, so
+   its bytes must survive any (jobs, incremental-engine) combination. *)
+let test_profile_grid_identical () =
+  let saved_jobs = Pdf_par.Pool.default_jobs () in
+  let saved_inc = Wsim.incsim_enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pdf_par.Pool.set_default_jobs saved_jobs;
+      Wsim.set_incsim saved_inc)
+  @@ fun () ->
+  let outputs =
+    List.concat_map
+      (fun jobs ->
+        List.map
+          (fun inc ->
+            Pdf_par.Pool.set_default_jobs jobs;
+            Wsim.set_incsim inc;
+            let p = Hotspots.profile ~n_p:40 ~n_p0:10 ~seed:2002 s27 in
+            (Hotspots.render p, Hotspots.to_json p))
+          [ false; true ])
+      [ 1; 4 ]
+  in
+  match outputs with
+  | [] -> assert false
+  | (r0, j0) :: rest ->
+    check Alcotest.bool "render non-empty" true (String.length r0 > 0);
+    check Alcotest.bool "json carries the schema id" true
+      (contains j0 "\"schema\": \"pdf-profile-report/1\"");
+    List.iteri
+      (fun i (r, j) ->
+        check Alcotest.string
+          (Printf.sprintf "render %d byte-identical" (i + 1))
+          r0 r;
+        check Alcotest.string
+          (Printf.sprintf "json %d byte-identical" (i + 1))
+          j0 j)
+      rest
+
+let test_profile_conservation () =
+  let p = Hotspots.profile ~n_p:40 ~n_p0:10 ~seed:2002 s27 in
+  let levels = Hotspots.per_level p in
+  check Alcotest.int "per-level histogram sums to the grand total"
+    (Attrib.grand_total p.Hotspots.sheet)
+    (Array.fold_left ( + ) 0 levels);
+  check Alcotest.bool "some effort was charged" true
+    (Attrib.grand_total p.Hotspots.sheet > 0);
+  let hot = Hotspots.top ~k:3 p in
+  check Alcotest.bool "top-3 is at most 3" true (List.length hot <= 3);
+  List.iter
+    (fun (h : Hotspots.hot) ->
+      check Alcotest.int "row total matches the sheet" h.Hotspots.total
+        (Attrib.semantic_total p.Hotspots.sheet h.Hotspots.net))
+    hot
+
+let test_profile_counter_track () =
+  let p = Hotspots.profile ~n_p:40 ~n_p0:10 ~seed:2002 s27 in
+  let coll = Trace.collector () in
+  Hotspots.counter_track p coll;
+  let json = Trace.to_json ~process_name:"unit" coll in
+  check Alcotest.bool "trace has counter events" true
+    (contains json "\"ph\":\"C\"");
+  check Alcotest.bool "counter track is named" true
+    (contains json "s27 effort/level")
+
+(* The ledger's per-fault effort records partition the run's global
+   justification counters: every search targeted exactly one fault. *)
+let test_effort_conservation () =
+  let p = Lazy.force s27_provenance in
+  let faults =
+    Pdf_obs.Ledger.find p.Provenance.ledger ~kind:"fault" (fun _ -> true)
+  in
+  let sum k =
+    List.fold_left
+      (fun acc r ->
+        acc
+        +
+        match Pdf_obs.Ledger.field r "effort" with
+        | Some (Pdf_obs.Ledger.O kvs) -> (
+          match List.assoc_opt k kvs with
+          | Some (Pdf_obs.Ledger.I i) -> i
+          | _ -> 0)
+        | _ -> 0)
+      0 faults
+  in
+  check Alcotest.int "per-fault runs sum to the run total"
+    p.Provenance.result.Pdf_core.Atpg.justification_runs (sum "runs");
+  check Alcotest.int "per-fault trials sum to the run total"
+    p.Provenance.result.Pdf_core.Atpg.justification_trials (sum "trials")
+
+let test_why_golden () =
+  let p = Lazy.force s27_provenance in
+  (match Provenance.why p "0" with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    check Alcotest.string "why fault 0 on s27 (forensics present)"
+      "fault #0: slow-to-rise (G0,G14,G8,G16,G9,G11,G17)\n\
+      \  detected by test 0, via primary\n\
+      \  test 0: primary slow-to-rise (G0,G14,G8,G16,G9,G11,G17), pattern \
+       0001010/1000010\n\
+      \  4 secondary fold(s) into this test\n\
+      \  this fault folded at step 1 (free)\n\
+      \  justification effort: 2 runs, 66 trials, 0 backtracks\n\
+      \  justification effort charged to this fault: 1 run(s), 36 trials, \
+       0 backtracks, 52 resim gate evals\n\
+      \  last requirement conflict: net G15 (id 11, level 3); deepest \
+       conflict at level 3\n"
+      text);
+  match Provenance.why p "3" with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    check Alcotest.string "why fault 3 on s27 (never targeted)"
+      "fault #3: slow-to-rise (G0,G14,G8,G15,G9,G11,G10)\n\
+      \  detected by test 1, via folded\n\
+      \  test 1: primary slow-to-rise (G0,G14,G8,G15,G9,G11,G17), pattern \
+       0001010/1101010\n\
+      \  6 secondary fold(s) into this test\n\
+      \  this fault folded at step 3 (free)\n\
+      \  justification effort: 2 runs, 80 trials, 0 backtracks\n\
+      \  no justification search ever targeted this fault\n"
+      text
+
+let test_why_unknown () =
+  let p = Lazy.force s27_provenance in
+  match Provenance.why p "no-such-net" with
+  | Error _ -> ()
+  | Ok text -> Alcotest.fail ("expected Error, got: " ^ text)
+
+let test_report_breakdown () =
+  let p = Lazy.force s27_provenance in
+  let rep = Provenance.report p in
+  check Alcotest.bool "abort/reject breakdown present" true
+    (contains rep "abort/reject breakdown");
+  check Alcotest.bool "median column present" true
+    (contains rep "med j.trials")
+
 let () =
   Alcotest.run "pdf_obs"
     [
@@ -653,5 +832,21 @@ let () =
             test_explain_unknown;
           Alcotest.test_case "report consistency" `Quick
             test_report_consistent;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "sheet algebra" `Quick test_attrib_sheet_ops;
+          Alcotest.test_case "profile identical across jobs x engine"
+            `Quick test_profile_grid_identical;
+          Alcotest.test_case "profile conservation" `Quick
+            test_profile_conservation;
+          Alcotest.test_case "profile counter track" `Quick
+            test_profile_counter_track;
+          Alcotest.test_case "ledger effort conservation" `Quick
+            test_effort_conservation;
+          Alcotest.test_case "why golden" `Quick test_why_golden;
+          Alcotest.test_case "why unknown query" `Quick test_why_unknown;
+          Alcotest.test_case "report abort breakdown" `Quick
+            test_report_breakdown;
         ] );
     ]

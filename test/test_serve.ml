@@ -76,6 +76,9 @@ let test_parse_errors () =
   expect_error "bad_params" "{\"req\":\"atpg\"}";
   expect_error "bad_params"
     "{\"req\":\"explain\",\"circuit\":\"s27\"}";
+  expect_error "bad_params" "{\"req\":\"why\",\"circuit\":\"s27\"}";
+  expect_error "bad_params"
+    "{\"req\":\"why\",\"circuit\":\"s27\",\"query\":\"0\",\"extra\":1}";
   expect_error "bad_params"
     "{\"req\":\"atpg\",\"circuit\":\"s27\",\"criterion\":\"maybe\"}"
 
@@ -129,9 +132,17 @@ let test_explain_report_consistent () =
     true (String.length report.Session.text > 0);
   check Alcotest.bool "explain found fault #0" true
     (String.length explain.Session.text > 0);
+  let why = ok (Session.why s ~circuit:"s27" ~params ~query:"0") in
+  (* why = explain + the effort/forensics lines: same resolution path,
+     strictly more detail. *)
+  check Alcotest.bool "why extends explain" true
+    (String.length why.Session.text > String.length explain.Session.text);
   (match Session.explain s ~circuit:"s27" ~params ~query:"no-such-net" with
   | Error (Session.No_match _) -> ()
   | _ -> Alcotest.fail "expected No_match");
+  (match Session.why s ~circuit:"s27" ~params ~query:"no-such-net" with
+  | Error (Session.No_match _) -> ()
+  | _ -> Alcotest.fail "expected No_match from why");
   match Session.info s ~circuit:"no-such-circuit" with
   | Error (Session.Unknown_circuit _) -> ()
   | _ -> Alcotest.fail "expected Unknown_circuit"
@@ -236,6 +247,10 @@ let test_served_equals_session () =
     (ok (Session.explain reference ~circuit:"s27" ~params ~query:"0"))
       .Session.text
   in
+  let want_why =
+    (ok (Session.why reference ~circuit:"s27" ~params ~query:"0"))
+      .Session.text
+  in
   with_server "bytes" (fun ~connect ~send:_ ~request ->
       let fd, ic = connect () in
       let got_atpg, d1 = request fd ic (atpg_line ~id:1) in
@@ -258,6 +273,12 @@ let test_served_equals_session () =
            \"n_p\":200,\"n_p0\":50,\"seed\":7}"
       in
       check Alcotest.string "served explain bytes" want_explain got_explain;
+      let got_why, _ =
+        request fd ic
+          "{\"id\":5,\"req\":\"why\",\"circuit\":\"s27\",\"query\":\"0\",\
+           \"n_p\":200,\"n_p0\":50,\"seed\":7}"
+      in
+      check Alcotest.string "served why bytes" want_why got_why;
       close_in ic)
 
 let test_server_error_codes () =
