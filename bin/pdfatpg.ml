@@ -14,6 +14,7 @@ module Target_sets = Pdf_faults.Target_sets
 module Fault_sim = Pdf_core.Fault_sim
 module Atpg = Pdf_core.Atpg
 module Ordering = Pdf_core.Ordering
+module Justify = Pdf_core.Justify
 module Test_pair = Pdf_core.Test_pair
 module Profiles = Pdf_synth.Profiles
 module Workload = Pdf_experiments.Workload
@@ -304,6 +305,28 @@ let criterion_arg =
   Arg.(value & opt criterion_conv Pdf_faults.Robust.Robust
        & info [ "criterion" ] ~doc)
 
+let justify_conv =
+  Arg.conv
+    ( (fun s ->
+        match Justify.kind_of_name s with
+        | Some k -> Ok k
+        | None -> Error (`Msg ("unknown justify backend " ^ s))),
+      fun ppf k -> Format.pp_print_string ppf (Justify.kind_name k) )
+
+let justify_arg =
+  let doc =
+    "Justification backend: sim (paper), podem (structural) or portfolio \
+     (race both plus random restarts across the worker pool).  Defaults \
+     to $(b,PDF_JUSTIFY), else sim."
+  in
+  Arg.(value & opt (some justify_conv) None & info [ "justify" ] ~doc)
+
+(* The flag wins over PDF_JUSTIFY; neither set means the paper's
+   simulation engine. *)
+let resolve_justify = function
+  | Some k -> k
+  | None -> Justify.default_kind ()
+
 let ordering_conv =
   Arg.conv
     ( (fun s ->
@@ -354,9 +377,11 @@ let atpg_cmd =
              ~doc:"Report how many input bits the tests actually need \
                    (don't-care extraction).")
   in
-  let run () name n_p n_p0 seed ordering criterion relax dump ledger_out =
+  let run () name n_p n_p0 seed ordering criterion justify relax dump
+      ledger_out =
     let ledger = Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out in
-    let params = { Session.n_p; n_p0; seed; criterion } in
+    let justify = resolve_justify justify in
+    let params = { Session.n_p; n_p0; seed; criterion; justify } in
     let ans =
       answer_or_die
         (Session.atpg ?ledger (Lazy.force session) ~circuit:name ~params
@@ -370,7 +395,7 @@ let atpg_cmd =
     (Cmd.info "atpg"
        ~doc:"Basic test generation for the P0 target faults (paper Sec. 2).")
     Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
-          $ ordering_arg $ criterion_arg $ relax_flag $ dump_arg
+          $ ordering_arg $ criterion_arg $ justify_arg $ relax_flag $ dump_arg
           $ ledger_out_arg)
 
 let enrich_cmd =
@@ -380,9 +405,10 @@ let enrich_cmd =
              ~doc:"Print a per-path-length coverage comparison of the basic \
                    and enriched test sets.")
   in
-  let run () name n_p n_p0 seed criterion coverage dump ledger_out =
+  let run () name n_p n_p0 seed criterion justify coverage dump ledger_out =
     let ledger = Option.map (fun _ -> Pdf_obs.Ledger.create ()) ledger_out in
-    let params = { Session.n_p; n_p0; seed; criterion } in
+    let justify = resolve_justify justify in
+    let params = { Session.n_p; n_p0; seed; criterion; justify } in
     let ans =
       answer_or_die
         (Session.enrich ?ledger (Lazy.force session) ~circuit:name ~params
@@ -396,7 +422,8 @@ let enrich_cmd =
     (Cmd.info "enrich"
        ~doc:"Test enrichment with target sets P0 and P1 (paper Sec. 3).")
     Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg $ seed_arg
-          $ criterion_arg $ coverage_flag $ dump_arg $ ledger_out_arg)
+          $ criterion_arg $ justify_arg $ coverage_flag $ dump_arg
+          $ ledger_out_arg)
 
 let faultsim_cmd =
   let tests_file =
@@ -792,8 +819,9 @@ let explain_cmd =
              ~doc:"Fault id (integer) or a substring of the fault name \
                    (e.g. a net on the path).")
   in
-  let run () name query n_p n_p0 seed criterion =
-    let params = { Session.n_p; n_p0; seed; criterion } in
+  let run () name query n_p n_p0 seed criterion justify =
+    let justify = resolve_justify justify in
+    let params = { Session.n_p; n_p0; seed; criterion; justify } in
     let ans =
       answer_or_die
         (Session.explain (Lazy.force session) ~circuit:name ~params ~query)
@@ -807,7 +835,7 @@ let explain_cmd =
              folded in), or why it was aborted, left uncovered, or \
              eliminated as undetectable.")
     Term.(const run $ obs_setup $ circuit_arg $ query_arg $ n_p_arg
-          $ n_p0_arg $ seed_arg $ criterion_arg)
+          $ n_p0_arg $ seed_arg $ criterion_arg $ justify_arg)
 
 let why_cmd =
   let query_arg =
@@ -816,8 +844,9 @@ let why_cmd =
              ~doc:"Fault id (integer) or a substring of the fault name \
                    (e.g. a net on the path).")
   in
-  let run () name query n_p n_p0 seed criterion =
-    let params = { Session.n_p; n_p0; seed; criterion } in
+  let run () name query n_p n_p0 seed criterion justify =
+    let justify = resolve_justify justify in
+    let params = { Session.n_p; n_p0; seed; criterion; justify } in
     let ans =
       answer_or_die
         (Session.why (Lazy.force session) ~circuit:name ~params ~query)
@@ -832,7 +861,7 @@ let why_cmd =
              conflict hit while targeting it and the deepest conflict \
              level reached.")
     Term.(const run $ obs_setup $ circuit_arg $ query_arg $ n_p_arg
-          $ n_p0_arg $ seed_arg $ criterion_arg)
+          $ n_p0_arg $ seed_arg $ criterion_arg $ justify_arg)
 
 let profile_cmd =
   let top_arg =
@@ -846,9 +875,10 @@ let profile_cmd =
              ~doc:"Also write the profile as a pdf-profile-report/1 JSON \
                    document to $(docv).")
   in
-  let run () name n_p n_p0 seed criterion top json_out =
+  let run () name n_p n_p0 seed criterion justify top json_out =
+    let justify = resolve_justify justify in
     with_circuit name (fun c ->
-        let p = Hotspots.profile ~criterion ~n_p ~n_p0 ~seed c in
+        let p = Hotspots.profile ~criterion ~n_p ~n_p0 ~seed ~justify c in
         print_string (Hotspots.render ~k:top p);
         (match json_out with
         | None -> ()
@@ -871,11 +901,12 @@ let profile_cmd =
              byte-identical across --jobs values and the \
              PDF_INCSIM/PDF_BITSIM engine toggles.")
     Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg
-          $ seed_arg $ criterion_arg $ top_arg $ json_out_arg)
+          $ seed_arg $ criterion_arg $ justify_arg $ top_arg $ json_out_arg)
 
 let report_cmd =
-  let run () name n_p n_p0 seed criterion ledger_out =
-    let params = { Session.n_p; n_p0; seed; criterion } in
+  let run () name n_p n_p0 seed criterion justify ledger_out =
+    let justify = resolve_justify justify in
+    let params = { Session.n_p; n_p0; seed; criterion; justify } in
     let s = Lazy.force session in
     let ans = answer_or_die (Session.report s ~circuit:name ~params) in
     print_string ans.Session.text;
@@ -895,7 +926,7 @@ let report_cmd =
        ~doc:"Run enrichment with a provenance ledger and print the \
              disposition summary and per-test provenance tables.")
     Term.(const run $ obs_setup $ circuit_arg $ n_p_arg $ n_p0_arg
-          $ seed_arg $ criterion_arg $ ledger_out_arg)
+          $ seed_arg $ criterion_arg $ justify_arg $ ledger_out_arg)
 
 let trace_cmd =
   let run () name n_p n_p0 seed criterion =
@@ -997,7 +1028,14 @@ let fuzz_cmd =
              ~doc:"Instead of fuzzing, re-run the oracle recorded in a \
                    .repro reproducer file and exit 1 if it still fails.")
   in
-  let run () seed rounds profile time_budget out no_emit replay ledger_out =
+  let oracle_arg =
+    Arg.(value & opt_all string []
+         & info [ "oracle" ] ~docv:"NAME"
+             ~doc:"Restrict the campaign to this oracle (repeatable); \
+                   default is the full registry.")
+  in
+  let run () seed rounds profile time_budget out no_emit replay oracles
+      ledger_out =
     match replay with
     | Some path -> (
       match Pdf_check.Fuzz.replay path with
@@ -1031,6 +1069,15 @@ let fuzz_cmd =
         | Some _ -> Some (Pdf_obs.Ledger.create ())
         | None -> None
       in
+      List.iter
+        (fun n ->
+          if Pdf_check.Oracle.find n = None then begin
+            prerr_endline
+              (Printf.sprintf "unknown oracle %S (try %s)" n
+                 (String.concat ", " (Pdf_check.Oracle.names ())));
+            exit 2
+          end)
+        oracles;
       let cfg =
         {
           Pdf_check.Fuzz.default_config with
@@ -1040,6 +1087,7 @@ let fuzz_cmd =
           time_budget_s = time_budget;
           out_dir = out;
           emit = not no_emit;
+          oracles;
         }
       in
       let s = Pdf_check.Fuzz.run ?ledger cfg in
@@ -1073,7 +1121,7 @@ let fuzz_cmd =
              circuits and shrink any failure to a minimal reproducer.")
     Term.(const run $ obs_setup $ seed_arg $ rounds_arg $ profile_arg
           $ time_budget_arg $ out_arg $ no_emit_flag $ replay_arg
-          $ ledger_out_arg)
+          $ oracle_arg $ ledger_out_arg)
 
 let bench_cmd =
   let suite_arg =
@@ -1339,7 +1387,11 @@ let serve_cmd =
          & info [ "chunk" ] ~docv:"BYTES"
              ~doc:"Answer-streaming slice size per chunk frame.")
   in
-  let run () unix tcp max_clients max_line_bytes max_n_p max_n_p0 chunk =
+  let run () unix tcp max_clients max_line_bytes max_n_p max_n_p0 chunk
+      justify =
+    (match justify with
+    | Some k -> Session.set_default_justify k
+    | None -> ());
     let usage () =
       Printf.eprintf "pdfatpg: serve needs --unix PATH or --tcp HOST:PORT\n";
       exit 2
@@ -1396,7 +1448,7 @@ let serve_cmd =
              server.")
     Term.(const run $ obs_setup $ unix_arg $ tcp_arg $ max_clients_arg
           $ max_line_arg $ max_n_p_serve_arg $ max_n_p0_serve_arg
-          $ chunk_arg)
+          $ chunk_arg $ justify_arg)
 
 let version_cmd =
   let run () =

@@ -166,6 +166,7 @@ type config = {
   emit : bool;
   max_violations : int;
   max_shrink_attempts : int;
+  oracles : string list;
 }
 
 let default_config =
@@ -178,7 +179,22 @@ let default_config =
     emit = true;
     max_violations = 5;
     max_shrink_attempts = 300;
+    oracles = [];
   }
+
+(* An unknown oracle name is a configuration error, not an empty
+   campaign: a CI step fuzzing a misspelt oracle would silently check
+   nothing. *)
+let selected_oracles cfg =
+  match cfg.oracles with
+  | [] -> Oracle.all
+  | names ->
+    List.map
+      (fun n ->
+        match Oracle.find n with
+        | Some o -> o
+        | None -> invalid_arg (Printf.sprintf "Fuzz.run: unknown oracle %S" n))
+      names
 
 type violation = {
   round : int;
@@ -251,6 +267,7 @@ let run ?ledger cfg =
   let master = Rng.create cfg.seed in
   let grid_len = List.length cfg.profile.grid in
   if grid_len = 0 then invalid_arg "Fuzz.run: empty profile grid";
+  let oracles = selected_oracles cfg in
   Option.iter
     (fun l ->
       Ledger.record l ~kind:"fuzz_run"
@@ -258,7 +275,8 @@ let run ?ledger cfg =
           ("seed", Ledger.I cfg.seed);
           ("rounds", Ledger.I cfg.rounds);
           ("profile", Ledger.S cfg.profile.profile_name);
-          ("oracles", Ledger.L (List.map (fun n -> Ledger.S n) (Oracle.names ())));
+          ("oracles",
+           Ledger.L (List.map (fun (o : Oracle.t) -> Ledger.S o.Oracle.name) oracles));
         ])
     ledger;
   let checks = ref 0 and passes = ref 0 and skips = ref 0 in
@@ -350,7 +368,7 @@ let run ?ledger cfg =
               if List.length !violations >= cfg.max_violations then
                 stop := true
           end)
-        Oracle.all
+        oracles
     end;
     incr r
   done;

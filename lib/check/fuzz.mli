@@ -46,11 +46,18 @@ type config = {
   max_violations : int;  (** stop after this many violations *)
   max_shrink_attempts : int;
       (** property-evaluation budget per {!Shrink.shrink} call *)
+  oracles : string list;
+      (** restrict the campaign to these oracles, in the given order
+          (the CLI's repeatable [--oracle] flag); [[]] means the full
+          registry.  {!run} raises [Invalid_argument] on an unknown
+          name — a misspelt selection must not silently check
+          nothing. *)
 }
 
 val default_config : config
 (** seed 0, 50 rounds, default profile, no time budget, [_fuzz] output,
-    emission on, stop after 5 violations, 300 shrink attempts. *)
+    emission on, stop after 5 violations, 300 shrink attempts, every
+    registered oracle. *)
 
 type violation = {
   round : int;

@@ -13,6 +13,7 @@ module Inc_sim = Pdf_core.Inc_sim
 module Test_pair = Pdf_core.Test_pair
 module Atpg = Pdf_core.Atpg
 module Justify = Pdf_core.Justify
+module Podem = Pdf_core.Podem
 module Timing = Pdf_core.Timing
 module Ordering = Pdf_core.Ordering
 module Ledger = Pdf_obs.Ledger
@@ -478,6 +479,80 @@ let check_justify_brute { circuit = c; seed } =
     end
 
 (* ------------------------------------------------------------------ *)
+(* justify-podem: the structural engine vs the simulation engine vs     *)
+(* brute force, three ways                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Both complete engines make hard claims (Found / Proved_unsatisfiable)
+   about the same satisfiability question, so any Found/Proved pair
+   across them is a bug in one of them — no reference needed.  On small
+   circuits brute-force enumeration arbitrates which.  Found tests are
+   re-simulated through the independent scalar simulator; PODEM never
+   re-checks its own answer, so this is what catches the
+   [Podem.set_injected_bug] implication mutation.  [Gave_up] makes no
+   claim and is never a violation. *)
+let check_justify_podem { circuit = c; seed } =
+  let _, _, faults = target_faults c in
+  if Array.length faults = 0 then Skip "no detectable target faults"
+  else begin
+    let pod = Podem.create c in
+    let sim = Justify.create c in
+    let portfolio = Justify.Engine.create ~kind:Justify.Portfolio c in
+    let rng = Rng.create seed in
+    let small = c.Circuit.num_pis <= max_justify_pis in
+    let violation = ref None in
+    let fail fmt = Printf.ksprintf (fun m -> violation := Some m) fmt in
+    let n_checked = min 12 (Array.length faults) in
+    for i = 0 to n_checked - 1 do
+      if !violation = None then begin
+        let reqs = faults.(i).Fault_sim.reqs in
+        let fname = Fault.to_string c faults.(i).Fault_sim.fault in
+        let pr = Podem.run pod ~reqs in
+        (match pr with
+        | Podem.Found t when not (Test_pair.satisfies c t reqs) ->
+          fail "PODEM returned an unsound test for %s on %s: %s" fname
+            c.Circuit.name (describe_test c t)
+        | _ -> ());
+        if !violation = None then begin
+          let sr = Justify.run_complete ~max_backtracks:2000 sim ~reqs in
+          match (pr, sr) with
+          | Podem.Found _, Justify.Proved_unsatisfiable ->
+            fail
+              "PODEM found a test for %s on %s but the simulation engine \
+               proved it unsatisfiable"
+              fname c.Circuit.name
+          | Podem.Proved_unsatisfiable, Justify.Found _ ->
+            fail
+              "PODEM proved %s unsatisfiable on %s but the simulation \
+               engine found a test"
+              fname c.Circuit.name
+          | Podem.Proved_unsatisfiable, _
+            when small && brute_force_satisfiable c reqs ->
+            fail
+              "PODEM proved %s unsatisfiable on %s but brute force found a \
+               test"
+              fname c.Circuit.name
+          | Podem.Found _, _
+            when small && not (brute_force_satisfiable c reqs) ->
+            fail
+              "PODEM found a test for %s on %s but brute force says the \
+               requirements are unsatisfiable"
+              fname c.Circuit.name
+          | _ -> ()
+        end;
+        (* The racing engine must be as sound as its members. *)
+        if !violation = None then
+          match Justify.Engine.run portfolio ~rng ~reqs with
+          | Some t when not (Test_pair.satisfies c t reqs) ->
+            fail "portfolio returned an unsound test for %s on %s: %s" fname
+              c.Circuit.name (describe_test c t)
+          | _ -> ()
+      end
+    done;
+    match !violation with Some m -> Fail m | None -> Pass
+  end
+
+(* ------------------------------------------------------------------ *)
 (* robust-timing: robust detection implies physical detection           *)
 (* ------------------------------------------------------------------ *)
 
@@ -726,6 +801,10 @@ let all =
     { name = "justify-brute";
       doc = "justification claims agree with brute-force enumeration";
       check = check_justify_brute };
+    { name = "justify-podem";
+      doc = "PODEM, simulation-based and brute-force justification agree; \
+             portfolio answers re-simulate";
+      check = check_justify_podem };
     { name = "robust-timing";
       doc = "robust detection implies event-driven timing detection";
       check = check_robust_timing };

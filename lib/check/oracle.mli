@@ -25,6 +25,14 @@
       including ledger bytes;
     - [justify-brute] — justification soundness and completeness claims
       against brute-force enumeration of all PI pairs (small cones only);
+    - [justify-podem] — the structural {!Pdf_core.Podem} engine against
+      the simulation-based complete search and (on small circuits)
+      brute force: a [Found]/[Proved_unsatisfiable] disagreement in any
+      direction is a violation, every [Found] test must re-simulate to
+      satisfy its requirements through the independent scalar
+      simulator, and the racing portfolio engine's answers must
+      re-simulate too; this is the oracle that must catch the
+      [Podem.set_injected_bug] implication mutation;
     - [robust-timing] — robust detection per {!Pdf_core.Fault_sim}
       implies physical detection by the event-driven
       {!Pdf_core.Timing.detects} ground truth with [extra = slack + 1];

@@ -153,16 +153,22 @@ let contradicts_implied implied reqs =
         && Req.compatible_bit v.Pdf_values.Triple.v3 req.Req.r3))
     reqs
 
-let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
+let generate ?ledger ?attrib ?justify c config ~faults ~primaries
+    ~secondary_pools =
   Span.with_ "atpg" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   (* One attribution sheet for everything this (single-domain) run owns:
      the justify engine, the incremental refresh state and the candidate
      delta scans all bump it unsynchronised; it is merged into the
-     shared store once, at the end of the run. *)
+     shared store once, at the end of the run (portfolio members charge
+     private sheets that [Justify.Engine.flush] folds in first). *)
   let sheet = Option.map Attrib.fresh attrib in
-  let engine = Justify.create ?attrib:sheet c in
-  let runs0 = Justify.runs engine and trials0 = Justify.trials engine in
+  let jkind =
+    match justify with Some k -> k | None -> Justify.default_kind ()
+  in
+  let engine = Justify.Engine.create ?attrib:sheet ~kind:jkind c in
+  let runs0 = Justify.Engine.runs engine
+  and trials0 = Justify.Engine.trials engine in
   (* Per-test value refresh.  Consecutive accepted tests within one
      compaction pass differ in a handful of PI bits, so with the
      incremental engine the refresh re-evaluates only the changed cone
@@ -265,6 +271,7 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
         [
           ("ordering", Ledger.S ord_name);
           ("seed", Ledger.I config.seed);
+          ("justify", Ledger.S (Justify.kind_name jkind));
           ("faults", Ledger.I n);
           ("primaries", Ledger.I (List.length primaries));
           ( "pools",
@@ -289,23 +296,27 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
   and eff_resim_gates = Array.make n 0 in
   let last_conflict : Justify.forensics option array = Array.make n None in
   let targeted_run i f =
-    let r0 = Justify.runs engine
-    and t0 = Justify.trials engine
-    and b0 = Justify.backtracks engine
-    and g0 = Justify.resim_gates engine in
-    Justify.reset_forensics engine;
+    let r0 = Justify.Engine.runs engine
+    and t0 = Justify.Engine.trials engine
+    and b0 = Justify.Engine.backtracks engine
+    and g0 = Justify.Engine.resim_gates engine in
+    Justify.Engine.reset_forensics engine;
     let res = f () in
-    eff_runs.(i) <- eff_runs.(i) + (Justify.runs engine - r0);
-    eff_trials.(i) <- eff_trials.(i) + (Justify.trials engine - t0);
-    eff_backtracks.(i) <- eff_backtracks.(i) + (Justify.backtracks engine - b0);
+    eff_runs.(i) <- eff_runs.(i) + (Justify.Engine.runs engine - r0);
+    eff_trials.(i) <- eff_trials.(i) + (Justify.Engine.trials engine - t0);
+    eff_backtracks.(i) <- eff_backtracks.(i) + (Justify.Engine.backtracks engine - b0);
     eff_resim_gates.(i) <-
-      eff_resim_gates.(i) + (Justify.resim_gates engine - g0);
-    let fo = Justify.forensics engine in
+      eff_resim_gates.(i) + (Justify.Engine.resim_gates engine - g0);
+    let fo = Justify.Engine.forensics engine in
     if fo.Justify.last_net >= 0 then last_conflict.(i) <- Some fo;
     res
   in
   let next_test_id = ref 0 in
   let cur_test_id = ref (-1) in
+  (* Winning engine per finalised test: every accepted test's assignment
+     came from the engine's most recent successful dispatch (the primary
+     justification, or the last accepted candidate re-justification). *)
+  let test_engine : (int, string) Hashtbl.t = Hashtbl.create 16 in
   let cur_folded = ref [] in
   let note_folded i via =
     folded_at.(i) <- !cur_test_id;
@@ -357,7 +368,7 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
       else begin
         match
           targeted_run i (fun () ->
-              Justify.run engine ~rng ~reqs:(reqs_with st.acc updates))
+              Justify.Engine.run engine ~rng ~reqs:(reqs_with st.acc updates))
         with
         | Some test ->
           st.test <- test;
@@ -464,12 +475,12 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
     | Some p0 ->
       tried.(p0) <- true;
       Metrics.incr m_primaries;
-      let j_runs0 = Justify.runs engine
-      and j_trials0 = Justify.trials engine
-      and j_bt0 = Justify.backtracks engine in
+      let j_runs0 = Justify.Engine.runs engine
+      and j_trials0 = Justify.Engine.trials engine
+      and j_bt0 = Justify.Engine.backtracks engine in
       (match
          targeted_run p0 (fun () ->
-             Justify.run engine ~rng ~reqs:faults.(p0).Fault_sim.reqs)
+             Justify.Engine.run engine ~rng ~reqs:faults.(p0).Fault_sim.reqs)
        with
       | None ->
         incr aborts;
@@ -503,6 +514,7 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
             | Ordering.Value_based ->
               List.iter (fun pool -> scan_pool_value_based st pool) pools);
         Metrics.observe_int h_folded_per_test !folded_this_test;
+        Hashtbl.replace test_engine id (Justify.Engine.winner engine);
         tests := st.test :: !tests;
         Metrics.incr m_tests;
         (* Fault simulation: drop everything the final test detects.  The
@@ -531,14 +543,15 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
                 ("primary", Ledger.I p0);
                 ("primary_fault", Ledger.S (fault_name p0));
                 ("pattern", Ledger.S (Test_pair.to_string st.test));
+                ("engine", Ledger.S (Hashtbl.find test_engine id));
                 ("folded", Ledger.L (List.rev !cur_folded));
                 ( "justify",
                   Ledger.O
                     [
-                      ("runs", Ledger.I (Justify.runs engine - j_runs0));
-                      ("trials", Ledger.I (Justify.trials engine - j_trials0));
+                      ("runs", Ledger.I (Justify.Engine.runs engine - j_runs0));
+                      ("trials", Ledger.I (Justify.Engine.trials engine - j_trials0));
                       ( "backtracks",
-                        Ledger.I (Justify.backtracks engine - j_bt0) );
+                        Ledger.I (Justify.Engine.backtracks engine - j_bt0) );
                     ] );
               ]);
         Metrics.set_int g_prog_tests (id + 1);
@@ -562,6 +575,7 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
                   ("disposition", Ledger.S "detected");
                   ("test", Ledger.I t);
                   ("via", Ledger.S via);
+                  ("engine", Ledger.S (Hashtbl.find test_engine t));
                 ]
               | None -> assert false
             else if tried.(i) then [ ("disposition", Ledger.S "aborted") ]
@@ -614,6 +628,7 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
     (fun (_, inc) ->
       Inc_sim.record ~num_gates:(Circuit.num_gates c) (Inc_sim.stats inc))
     inc_state;
+  Justify.Engine.flush engine;
   (match attrib, sheet with
   | Some store, Some sh -> Attrib.merge store sh
   | _ -> ());
@@ -622,8 +637,8 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
       tests = List.rev !tests;
       detected;
       primary_aborts = !aborts;
-      justification_runs = Justify.runs engine - runs0;
-      justification_trials = Justify.trials engine - trials0;
+      justification_runs = Justify.Engine.runs engine - runs0;
+      justification_trials = Justify.Engine.trials engine - trials0;
       runtime_s = Unix.gettimeofday () -. t0;
     }
   in
@@ -633,7 +648,7 @@ let generate ?ledger ?attrib c config ~faults ~primaries ~secondary_pools =
     (Fault_sim.count detected) (Array.length faults) !aborts;
   result
 
-let basic ?ledger ?attrib c config ~faults =
+let basic ?ledger ?attrib ?justify c config ~faults =
   let ids = List.init (Array.length faults) (fun i -> i) in
   let pools =
     match config.ordering with
@@ -641,19 +656,19 @@ let basic ?ledger ?attrib c config ~faults =
     | Ordering.Arbitrary | Ordering.Length_based | Ordering.Value_based ->
       [ ids ]
   in
-  generate ?ledger ?attrib c config ~faults ~primaries:ids
+  generate ?ledger ?attrib ?justify c config ~faults ~primaries:ids
     ~secondary_pools:pools
 
-let enrich ?ledger ?attrib c ~seed ~faults ~p0 ~p1 =
-  generate ?ledger ?attrib c
+let enrich ?ledger ?attrib ?justify c ~seed ~faults ~p0 ~p1 =
+  generate ?ledger ?attrib ?justify c
     { ordering = Ordering.Value_based; seed }
     ~faults ~primaries:p0 ~secondary_pools:[ p0; p1 ]
 
-let enrich_multi ?ledger ?attrib c ~seed ~faults ~pools =
+let enrich_multi ?ledger ?attrib ?justify c ~seed ~faults ~pools =
   match pools with
   | [] -> invalid_arg "Atpg.enrich_multi: no pools"
   | first :: _ ->
-    generate ?ledger ?attrib c
+    generate ?ledger ?attrib ?justify c
       { ordering = Ordering.Value_based; seed }
       ~faults ~primaries:first ~secondary_pools:pools
 

@@ -46,6 +46,7 @@ type result = {
 val generate :
   ?ledger:Pdf_obs.Ledger.t ->
   ?attrib:Pdf_obs.Attrib.t ->
+  ?justify:Justify.kind ->
   Pdf_circuit.Circuit.t ->
   config ->
   faults:Fault_sim.prepared array ->
@@ -53,6 +54,13 @@ val generate :
   secondary_pools:int list list ->
   result
 (** Fault ids in [primaries] and the pools index into [faults].
+
+    [justify] selects the justification backend (DESIGN.md §15),
+    defaulting to {!Justify.default_kind} (the [PDF_JUSTIFY]
+    environment variable, else the paper's simulation-based search).
+    The run record names the backend in a ["justify"] field, and every
+    test / detected-fault record carries the ["engine"] member label
+    that produced the winning assignment.
 
     When [ledger] is given the run appends provenance records
     (DESIGN.md §9): one ["run"] header, one ["test"] record per
@@ -80,6 +88,7 @@ val generate :
 val basic :
   ?ledger:Pdf_obs.Ledger.t ->
   ?attrib:Pdf_obs.Attrib.t ->
+  ?justify:Justify.kind ->
   Pdf_circuit.Circuit.t ->
   config ->
   faults:Fault_sim.prepared array ->
@@ -90,6 +99,7 @@ val basic :
 val enrich :
   ?ledger:Pdf_obs.Ledger.t ->
   ?attrib:Pdf_obs.Attrib.t ->
+  ?justify:Justify.kind ->
   Pdf_circuit.Circuit.t ->
   seed:int ->
   faults:Fault_sim.prepared array ->
@@ -102,6 +112,7 @@ val enrich :
 val enrich_multi :
   ?ledger:Pdf_obs.Ledger.t ->
   ?attrib:Pdf_obs.Attrib.t ->
+  ?justify:Justify.kind ->
   Pdf_circuit.Circuit.t ->
   seed:int ->
   faults:Fault_sim.prepared array ->

@@ -651,3 +651,218 @@ let run engine ~rng ~reqs =
     record_search st;
     if result = None then Metrics.incr m_conflicts;
     result
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection and the dispatching engine                        *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Sim | Podem | Portfolio
+
+let kind_name = function
+  | Sim -> "sim"
+  | Podem -> "podem"
+  | Portfolio -> "portfolio"
+
+let kind_of_name s =
+  match String.lowercase_ascii s with
+  | "sim" | "simulation" -> Some Sim
+  | "podem" -> Some Podem
+  | "portfolio" -> Some Portfolio
+  | _ -> None
+
+let default_kind () =
+  match Sys.getenv_opt "PDF_JUSTIFY" with
+  | None | Some "" -> Sim
+  | Some s -> (
+    match kind_of_name s with
+    | Some k -> k
+    | None ->
+      invalid_arg
+        (Printf.sprintf "PDF_JUSTIFY=%S: expected sim, podem or portfolio" s))
+
+module Engine = struct
+  module Pool = Pdf_par.Pool
+
+  (* Alias the simulation engine's type before [t] is shadowed below. *)
+  type sim_engine = t
+
+  type member_impl = Sim_member of sim_engine | Podem_member of Podem.t
+
+  type member = {
+    label : string;
+    impl : member_impl;
+    sheet : Attrib.sheet option;
+        (* portfolio members charge a private sheet (they run
+           concurrently); [flush] folds these into the run's sheet in
+           member order.  [None] outside portfolio mode: the single
+           member charges the run's sheet directly. *)
+  }
+
+  type t = {
+    kind : kind;
+    members : member array; (* fixed priority order *)
+    parent : Attrib.sheet option;
+    mutable last_winner : string;
+  }
+
+  (* Portfolio composition: the structural engine first (deterministic,
+     complete up to budget), then the paper's simulation engine, then
+     [restarts] random-restart simulation members.  The order is the
+     winner priority. *)
+  let restarts = 2
+
+  let create ?attrib ?(kind = default_kind ()) circuit =
+    let members =
+      match kind with
+      | Sim ->
+        [| { label = "sim"; impl = Sim_member (create ?attrib circuit);
+             sheet = None } |]
+      | Podem ->
+        [| { label = "podem"; impl = Podem_member (Podem.create ?attrib circuit);
+             sheet = None } |]
+      | Portfolio ->
+        let member label mk =
+          let sheet =
+            Option.map
+              (fun (a : Attrib.sheet) -> Attrib.make_sheet ~nets:a.Attrib.nets)
+              attrib
+          in
+          { label; impl = mk sheet; sheet }
+        in
+        Array.of_list
+          (member "podem" (fun sheet -> Podem_member (Podem.create ?attrib:sheet circuit))
+          :: member "sim" (fun sheet -> Sim_member (create ?attrib:sheet circuit))
+          :: List.init restarts (fun i ->
+                 member
+                   (Printf.sprintf "sim-r%d" (i + 1))
+                   (fun sheet -> Sim_member (create ?attrib:sheet circuit))))
+    in
+    { kind; members; parent = attrib; last_winner = "" }
+
+  let kind t = t.kind
+
+  let run_member ~seed ~reqs m =
+    match m.impl with
+    | Sim_member e -> run e ~rng:(Rng.create seed) ~reqs
+    | Podem_member p -> (
+      match Podem.run p ~reqs with
+      | Podem.Found test -> Some test
+      | Podem.Proved_unsatisfiable | Podem.Gave_up -> None)
+
+  let run t ~rng ~reqs =
+    match t.kind with
+    | Sim | Podem ->
+      let m = t.members.(0) in
+      let result =
+        match m.impl with
+        | Sim_member e -> run e ~rng ~reqs
+        | Podem_member p -> (
+          match Podem.run p ~reqs with
+          | Podem.Found test -> Some test
+          | Podem.Proved_unsatisfiable | Podem.Gave_up -> None)
+      in
+      if result <> None then t.last_winner <- m.label;
+      result
+    | Portfolio ->
+      (* Exactly one draw from the caller's stream per call, whatever
+         the member count or job count; the members derive their own
+         seeds from it and their index, honouring the pool's
+         no-shared-randomness rule. *)
+      let base = Int64.to_int (Rng.next rng) land max_int in
+      let pool = Pool.default () in
+      let results =
+        Pool.map_array pool
+          (fun i ->
+            let m = t.members.(i) in
+            run_member ~seed:(base lxor (0x9e3779b9 * (i + 1))) ~reqs m)
+          (Array.init (Array.length t.members) Fun.id)
+      in
+      (* Synchronisation point: every member ran to completion (their
+         effort counters are therefore jobs-invariant); the winner is
+         the first successful member in priority order. *)
+      let rec pick i =
+        if i >= Array.length results then None
+        else
+          match results.(i) with
+          | Some test ->
+            t.last_winner <- t.members.(i).label;
+            Some test
+          | None -> pick (i + 1)
+      in
+      pick 0
+
+  let winner t = t.last_winner
+
+  let sum t f_sim f_podem =
+    Array.fold_left
+      (fun acc m ->
+        acc
+        +
+        match m.impl with
+        | Sim_member e -> f_sim e
+        | Podem_member p -> f_podem p)
+      0 t.members
+
+  let runs t = sum t runs Podem.runs
+
+  (* The structural engine's unit of search work is the PI decision;
+     it is reported in the [trials] column so per-fault effort stays
+     one schema across backends (DESIGN.md §15). *)
+  let trials t = sum t trials Podem.decisions
+
+  let backtracks t = sum t backtracks Podem.backtracks
+
+  let resim_gates t = sum t resim_gates Podem.imply_gates
+
+  let aborts t = sum t (fun _ -> 0) Podem.aborts
+
+  let member_forensics m =
+    match m.impl with
+    | Sim_member e -> forensics e
+    | Podem_member p ->
+      let f = Podem.forensics p in
+      {
+        last_net = f.Podem.last_net;
+        last_level = f.Podem.last_level;
+        deepest_level = f.Podem.deepest_level;
+      }
+
+  (* Deterministic combination: the deepest conflict level over all
+     members, and the last-conflict net of the first member (in
+     priority order) that recorded one — a fixed rule, so the ledger's
+     forensic fields are jobs-invariant in portfolio mode too. *)
+  let forensics t =
+    let fs = Array.map member_forensics t.members in
+    let deepest =
+      Array.fold_left (fun acc f -> max acc f.deepest_level) (-1) fs
+    in
+    let last =
+      let rec find i =
+        if i >= Array.length fs then
+          { last_net = -1; last_level = -1; deepest_level = deepest }
+        else if fs.(i).last_net >= 0 then fs.(i)
+        else find (i + 1)
+      in
+      find 0
+    in
+    { last with deepest_level = deepest }
+
+  let reset_forensics t =
+    Array.iter
+      (fun m ->
+        match m.impl with
+        | Sim_member e -> reset_forensics e
+        | Podem_member p -> Podem.reset_forensics p)
+      t.members
+
+  let flush t =
+    match t.parent with
+    | None -> ()
+    | Some parent ->
+      Array.iter
+        (fun m ->
+          match m.sheet with
+          | Some sheet -> Attrib.add_sheet ~into:parent sheet
+          | None -> ())
+        t.members
+end

@@ -116,3 +116,97 @@ val run_complete :
 (** Deterministic branch-and-bound justification.  Default budget is
     10000 backtracks.  Unsearched inputs (outside the requirement cone)
     are filled with zeros. *)
+
+(** {2 Backend selection}
+
+    The generation loop justifies through a dispatching {!Engine.t}
+    that hosts one of three backends (DESIGN.md §15): the paper's
+    simulation-based search, the structural {!Podem} engine, or a
+    portfolio racing both (plus random-restart simulation members)
+    across the {!Pdf_par.Pool}.  Selected by the [--justify] CLI flag /
+    serve-protocol field, falling back to the [PDF_JUSTIFY] environment
+    variable. *)
+
+type kind = Sim | Podem | Portfolio
+
+val kind_name : kind -> string
+(** ["sim"] / ["podem"] / ["portfolio"] — the names used by the CLI
+    flag, the [PDF_JUSTIFY] variable, the serve protocol's ["justify"]
+    field and the ledger's engine records. *)
+
+val kind_of_name : string -> kind option
+(** Case-insensitive parse of {!kind_name} (["simulation"] also
+    accepted). *)
+
+val default_kind : unit -> kind
+(** [PDF_JUSTIFY] when set and non-empty (raising [Invalid_argument] on
+    an unknown value — a silently ignored engine selection would be a
+    debugging trap), else {!Sim}. *)
+
+(** The dispatching engine used by {!Atpg.generate}.  Counter and
+    forensics accessors mirror the simulation engine's, summed over the
+    backend members; in portfolio mode every member runs each request
+    to completion ([run] is the synchronisation point) and the winner
+    is the first successful member in the fixed priority order [podem;
+    sim; sim-r1; sim-r2], so results, counters and the ledger are
+    byte-identical across [--jobs]. *)
+module Engine : sig
+  type engine_kind := kind
+
+  type t
+
+  val create :
+    ?attrib:Pdf_obs.Attrib.sheet ->
+    ?kind:engine_kind ->
+    Pdf_circuit.Circuit.t ->
+    t
+  (** [kind] defaults to {!default_kind}.  In portfolio mode each
+      member charges a private attribution sheet (members run
+      concurrently); call {!flush} once at the end of the run to fold
+      them into [attrib] in fixed member order. *)
+
+  val kind : t -> engine_kind
+
+  val run :
+    t ->
+    rng:Pdf_util.Rng.t ->
+    reqs:(int * Pdf_values.Req.t) list ->
+    Test_pair.t option
+  (** Justify through the selected backend.  [Sim] passes [rng]
+      straight through (bit-identical to {!run} on a bare engine);
+      [Podem] ignores it (the structural search is deterministic);
+      [Portfolio] draws exactly one value from it per call and derives
+      member seeds from that draw and the member index. *)
+
+  val winner : t -> string
+  (** Member label of the most recent successful {!run} (["sim"],
+      ["podem"], ["sim-r1"], ...); [""] before the first success.  The
+      generation loop persists it into the ledger's test and
+      detected-fault records. *)
+
+  val runs : t -> int
+  val trials : t -> int
+  (** Sim trials plus PODEM decisions: both count one unit of search
+      work, so per-fault effort keeps one schema across backends. *)
+
+  val backtracks : t -> int
+  val resim_gates : t -> int
+  (** Sim resimulation gate charges plus PODEM implication gate
+      charges (the same full-cone-pass semantic unit). *)
+
+  val aborts : t -> int
+  (** PODEM budget exhaustions ({!Podem.Gave_up}) summed over members;
+      0 for the pure simulation backend. *)
+
+  val forensics : t -> forensics
+  (** Deterministic combination over members: deepest conflict level is
+      the maximum, the last-conflict net comes from the first member in
+      priority order that recorded one. *)
+
+  val reset_forensics : t -> unit
+
+  val flush : t -> unit
+  (** Fold portfolio members' private attribution sheets into the sheet
+      passed to {!create}, in fixed member order.  No-op otherwise; safe
+      to call exactly once, at the end of the run. *)
+end

@@ -1,0 +1,133 @@
+(** Structural PODEM justification (DESIGN.md §15).
+
+    A second justification backend next to the simulation-based engine
+    of {!Justify}: instead of trying values by trial simulation, PODEM
+    works an explicit objective frontier.  The requirement set is
+    carried as per-net value triples in the 5-valued two-pattern algebra
+    — the (component-0, component-2) pair of a net is one of stable 0,
+    stable 1, rising, falling or unassigned, with the hazard-aware
+    intermediate component 1 implied alongside — and the search loop is
+    the classical one:
+
+    + {e imply}: one topological pass over the requirement cone,
+      evaluating all three components with the shared
+      {!Pdf_sim.Logic_sim.eval_gate_get};
+    + {e objective}: the first requirement component still implied to X
+      (the frontier generalises the classical D-frontier: until the test
+      is found it is never empty, because an unsatisfied requirement is
+      either a conflict or an X);
+    + {e backtrace}: walk the objective backward through X-valued nets
+      to an unassigned primary-input pattern bit, choosing per-gate
+      target values by probing the evaluator;
+    + {e decide / backtrack}: assign the bit, re-imply, and on a
+      conflict flip the most recent unflipped decision (chronological
+      backtracking, bounded by a backtrack budget).
+
+    The engine is deterministic — no randomness anywhere — and complete
+    up to its budget: {!Proved_unsatisfiable} means the whole decision
+    tree over the cone's input bits was refuted. *)
+
+type t
+(** A PODEM engine for one circuit, holding per-engine effort counters
+    and conflict forensics.  Drive each engine from a single domain at a
+    time. *)
+
+val create : ?attrib:Pdf_obs.Attrib.sheet -> Pdf_circuit.Circuit.t -> t
+(** A fresh engine.  When [attrib] is given, effort is charged to the
+    sheet with the same vocabulary as {!Justify}: implication passes as
+    resimulation cone cost, conflicts to the mismatching net, backtracks
+    to the retracted decision input — so attribution conservation holds
+    whichever engine runs. *)
+
+type outcome =
+  | Found of Test_pair.t
+  | Proved_unsatisfiable  (** the whole decision tree was refuted *)
+  | Gave_up  (** backtrack budget exhausted *)
+
+val run :
+  ?max_backtracks:int ->
+  t ->
+  reqs:(int * Pdf_values.Req.t) list ->
+  outcome
+(** [run engine ~reqs] — deterministic structural search for a test
+    assigning every required value.  [reqs] may repeat nets; entries are
+    merged first (a direct conflict is {!Proved_unsatisfiable}).
+    Unassigned input bits are filled with zeros, which cannot disturb
+    satisfaction: implied definite values are monotone under completion.
+    Default budget is 10000 backtracks. *)
+
+(** {2 Effort counters} *)
+
+val runs : t -> int
+val decisions : t -> int
+(** PI pattern-bit decisions made (the engine's unit of search work). *)
+
+val backtracks : t -> int
+val imply_calls : t -> int
+val imply_gates : t -> int
+(** Implication effort: every pass charged the full cone gate count —
+    the same semantic unit as {!Justify.resim_gates}. *)
+
+val aborts : t -> int
+(** Runs that returned {!Gave_up}. *)
+
+(** {2 Abort forensics}
+
+    Same shape and semantics as {!Justify.forensics}; the dispatching
+    engine layer converts between the two. *)
+
+type forensics = { last_net : int; last_level : int; deepest_level : int }
+
+val forensics : t -> forensics
+val reset_forensics : t -> unit
+
+(** {2 Differential-testing mutation hook}
+
+    Mirrors {!Pdf_bitsim.Wsim.set_injected_bug}: a process-wide switch
+    that corrupts the second-pattern implication of multi-input gates
+    (it reads fanin 0's first-pattern value — a copy-paste bug the
+    engine's own final check cannot see, because the corrupted implied
+    state is self-consistent).  The [justify-podem] three-way oracle
+    must catch it by independent re-simulation; [test_check.ml] proves
+    it is caught and shrunk. *)
+
+val set_injected_bug : bool -> unit
+val injected_bug_enabled : unit -> bool
+
+(** {2 Exposed internals}
+
+    For the property tests in [test_core.ml] only: the search-state
+    invariants (frontier non-empty until detection, backtrace reaching
+    an unassigned PI, monotone implication, exact backtrack restore)
+    are stated against these. *)
+
+module Internal : sig
+  type state
+
+  val prepare :
+    t -> reqs:(int * Pdf_values.Req.t) list -> state option
+  (** Build a search state for the merged requirements and run the
+      initial implication; [None] on a directly conflicting set. *)
+
+  val imply : state -> unit
+  val frontier : state -> (int * int) list
+  (** Unsatisfied requirement components, as [(net, component)] pairs in
+      deterministic order. *)
+
+  val conflict : state -> int option
+  val satisfied : state -> bool
+  val objective : state -> (int * int * bool) option
+  val backtrace : state -> int * int * bool -> (int * int * bool) option
+  (** [(pi, pattern, value)] with [pattern] 1 or 3; the returned pattern
+      bit is always unassigned. *)
+
+  val cone_pis : state -> int array
+  val assign : state -> int * int * bool -> unit
+  (** Set a PI pattern bit without implying (call {!imply} after). *)
+
+  val unassign : state -> int * int -> unit
+
+  val snapshot : state -> string
+  (** Canonical rendering of the full search state (assignment and
+      implied values) for exact-equality assertions. *)
+end

@@ -12,6 +12,8 @@ module Wsim = Pdf_bitsim.Wsim
 module Word = Pdf_values.Word
 module Test_pair = Pdf_core.Test_pair
 module Justify = Pdf_core.Justify
+module Podem = Pdf_core.Podem
+module Generators = Pdf_synth.Generators
 module Atpg = Pdf_core.Atpg
 module Ordering = Pdf_core.Ordering
 module Pool = Pdf_par.Pool
@@ -396,49 +398,170 @@ let paths_suite =
 
 let justify_suite =
   let cases params =
-    List.concat_map
-      (fun profile ->
-        let s = circuit_setup params profile in
-        let name kernel = profile.Profiles.name ^ "/" ^ kernel in
-        let engine = Justify.create s.cs_circuit in
-        let k_sim = min 20 (Array.length s.cs_faults) in
-        let k_complete = min 10 (Array.length s.cs_faults) in
-        [
+    let profile_cases =
+      List.concat_map
+        (fun profile ->
+          let s = circuit_setup params profile in
+          let name kernel = profile.Profiles.name ^ "/" ^ kernel in
+          let engine = Justify.create s.cs_circuit in
+          let podem_engine = Podem.create s.cs_circuit in
+          let portfolio_engine =
+            Justify.Engine.create ~kind:Justify.Portfolio s.cs_circuit
+          in
+          let k_sim = min 20 (Array.length s.cs_faults) in
+          let k_complete = min 10 (Array.length s.cs_faults) in
+          (* The "aborts" telemetry unit: failed justifications among the
+             timed faults, measured once at setup on fresh engines so the
+             number is deterministic in (circuit, seed).  It rides in the
+             report's "units" object, which the determinism projection
+             keeps — CI gates on it. *)
+          let sim_aborts =
+            let e = Justify.create s.cs_circuit in
+            let rng = Pdf_util.Rng.create params.seed in
+            let n = ref 0 in
+            for i = 0 to k_sim - 1 do
+              if Justify.run e ~rng ~reqs:s.cs_faults.(i).Fault_sim.reqs = None
+              then incr n
+            done;
+            !n
+          in
+          let podem_aborts =
+            let e = Podem.create s.cs_circuit in
+            let n = ref 0 in
+            for i = 0 to k_complete - 1 do
+              match Podem.run e ~reqs:s.cs_faults.(i).Fault_sim.reqs with
+              | Podem.Gave_up -> incr n
+              | Podem.Found _ | Podem.Proved_unsatisfiable -> ()
+            done;
+            !n
+          in
+          let portfolio_aborts =
+            let e =
+              Justify.Engine.create ~kind:Justify.Portfolio s.cs_circuit
+            in
+            let rng = Pdf_util.Rng.create params.seed in
+            let n = ref 0 in
+            for i = 0 to k_complete - 1 do
+              if
+                Justify.Engine.run e ~rng ~reqs:s.cs_faults.(i).Fault_sim.reqs
+                = None
+              then incr n
+            done;
+            !n
+          in
+          [
+            {
+              case_name = name "simulation";
+              units =
+                [
+                  ("runs", float_of_int k_sim);
+                  ("aborts", float_of_int sim_aborts);
+                ];
+              thunk =
+                (fun () ->
+                  (* A fresh seeded RNG per execution keeps every sample on
+                     the same decision sequence. *)
+                  let rng = Pdf_util.Rng.create params.seed in
+                  for i = 0 to k_sim - 1 do
+                    ignore
+                      (Justify.run engine ~rng
+                         ~reqs:s.cs_faults.(i).Fault_sim.reqs
+                        : Test_pair.t option)
+                  done);
+            };
+            {
+              case_name = name "complete";
+              units = [ ("runs", float_of_int k_complete) ];
+              thunk =
+                (fun () ->
+                  for i = 0 to k_complete - 1 do
+                    ignore
+                      (Justify.run_complete ~max_backtracks:2000 engine
+                         ~reqs:s.cs_faults.(i).Fault_sim.reqs
+                        : Justify.complete_outcome)
+                  done);
+            };
+            {
+              case_name = name "podem";
+              units =
+                [
+                  ("runs", float_of_int k_complete);
+                  ("aborts", float_of_int podem_aborts);
+                ];
+              thunk =
+                (fun () ->
+                  for i = 0 to k_complete - 1 do
+                    ignore
+                      (Podem.run podem_engine
+                         ~reqs:s.cs_faults.(i).Fault_sim.reqs
+                        : Podem.outcome)
+                  done);
+            };
+            {
+              case_name = name "portfolio";
+              units =
+                [
+                  ("runs", float_of_int k_complete);
+                  ("aborts", float_of_int portfolio_aborts);
+                ];
+              thunk =
+                (fun () ->
+                  let rng = Pdf_util.Rng.create params.seed in
+                  for i = 0 to k_complete - 1 do
+                    ignore
+                      (Justify.Engine.run portfolio_engine ~rng
+                         ~reqs:s.cs_faults.(i).Fault_sim.reqs
+                        : Test_pair.t option)
+                  done);
+            };
+          ])
+        params.circuits
+    in
+    (* A fixed circuit from the fuzz harness's deep grid (the same one
+       test_core's engine goldens pin): deep logic is where the
+       simulation-based search aborts, so these three cases carry the
+       abort-rate comparison CI gates on — "aborts" counts aborted
+       primary faults of a full enrichment run per backend. *)
+    let deep_cases =
+      let dp =
+        { Generators.num_pis = 6; num_gates = 30; window = 5; max_fanout = 3;
+          reuse_pct = 10; restart_pct = 5; fanin3_pct = 20; inverter_pct = 25;
+          po_taps = 1 }
+      in
+      let c = Generators.random_dag ~name:"deep7" ~seed:7 dp in
+      let ts =
+        Target_sets.build c (Delay_model.lines c) ~n_p:240 ~n_p0:40
+      in
+      let faults = Fault_sim.prepare c ts.Target_sets.p in
+      let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+      let p0 = List.init n0 Fun.id in
+      let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+      let enrich kind =
+        Atpg.enrich c ~seed:9 ~justify:kind ~faults ~p0 ~p1
+      in
+      List.map
+        (fun kind ->
+          let aborted = (enrich kind).Atpg.primary_aborts in
           {
-            case_name = name "simulation";
-            units = [ ("runs", float_of_int k_sim) ];
-            thunk =
-              (fun () ->
-                (* A fresh seeded RNG per execution keeps every sample on
-                   the same decision sequence. *)
-                let rng = Pdf_util.Rng.create params.seed in
-                for i = 0 to k_sim - 1 do
-                  ignore
-                    (Justify.run engine ~rng
-                       ~reqs:s.cs_faults.(i).Fault_sim.reqs
-                      : Test_pair.t option)
-                done);
-          };
-          {
-            case_name = name "complete";
-            units = [ ("runs", float_of_int k_complete) ];
-            thunk =
-              (fun () ->
-                for i = 0 to k_complete - 1 do
-                  ignore
-                    (Justify.run_complete ~max_backtracks:2000 engine
-                       ~reqs:s.cs_faults.(i).Fault_sim.reqs
-                      : Justify.complete_outcome)
-                done);
-          };
-        ])
-      params.circuits
+            case_name = "deep/" ^ Justify.kind_name kind;
+            units =
+              [
+                ("faults", float_of_int (Array.length faults));
+                ("aborts", float_of_int aborted);
+              ];
+            thunk = (fun () -> ignore (enrich kind : Atpg.result));
+          })
+        [ Justify.Sim; Justify.Podem; Justify.Portfolio ]
+    in
+    profile_cases @ deep_cases
   in
   {
     suite_name = "justify";
     suite_doc =
-      "Justification engines: the simulation-based search and the \
-       branch-and-bound complete search over the longest faults";
+      "Justification engines: the simulation-based search, the \
+       branch-and-bound complete search, the structural PODEM engine \
+       and the racing portfolio over the longest faults, with aborted \
+       justifications as a telemetry unit";
     cases;
   }
 

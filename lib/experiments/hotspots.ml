@@ -28,7 +28,7 @@ type t = {
 }
 
 let profile ?(criterion = Pdf_faults.Robust.Robust) ?(n_p = 2000)
-    ?(n_p0 = 200) ?(seed = Workload.default_seed) c =
+    ?(n_p0 = 200) ?(seed = Workload.default_seed) ?justify c =
   let attrib = Attrib.create ~nets:(Circuit.num_nets c) in
   let model = Pdf_paths.Delay_model.lines c in
   let ts = Target_sets.build ~criterion c model ~n_p ~n_p0 in
@@ -36,7 +36,7 @@ let profile ?(criterion = Pdf_faults.Robust.Robust) ?(n_p = 2000)
   let n0 = List.length ts.Target_sets.p0 in
   let p0 = List.init n0 Fun.id in
   let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
-  let result = Atpg.enrich ~attrib c ~seed ~faults ~p0 ~p1 in
+  let result = Atpg.enrich ~attrib ?justify c ~seed ~faults ~p0 ~p1 in
   (* A verification fault-sim pass over the generated tests: its packed
      batches attribute their dirty-cone work through the pool-merged
      path.  The counts it adds are engine-variant ([inc_resims]) and

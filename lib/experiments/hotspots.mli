@@ -31,6 +31,7 @@ val profile :
   ?n_p:int ->
   ?n_p0:int ->
   ?seed:int ->
+  ?justify:Pdf_core.Justify.kind ->
   Pdf_circuit.Circuit.t ->
   t
 (** Run the enrichment workload with attribution on and snapshot the

@@ -13,7 +13,7 @@ type t = {
 }
 
 let build ?(criterion = Pdf_faults.Robust.Robust) ?(n_p = 2000) ?(n_p0 = 200)
-    ?(seed = Workload.default_seed) c =
+    ?(seed = Workload.default_seed) ?justify c =
   let ledger = Ledger.create () in
   let model = Pdf_paths.Delay_model.lines c in
   let ts = Target_sets.build ~criterion ~ledger c model ~n_p ~n_p0 in
@@ -21,7 +21,7 @@ let build ?(criterion = Pdf_faults.Robust.Robust) ?(n_p = 2000) ?(n_p0 = 200)
   let n0 = List.length ts.Target_sets.p0 in
   let p0 = List.init n0 Fun.id in
   let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
-  let result = Atpg.enrich ~ledger c ~seed ~faults ~p0 ~p1 in
+  let result = Atpg.enrich ~ledger ?justify c ~seed ~faults ~p0 ~p1 in
   { circuit = c; target_sets = ts; faults; result; ledger }
 
 (* ------------------------------------------------------------------ *)

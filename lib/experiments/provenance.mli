@@ -22,12 +22,15 @@ val build :
   ?n_p:int ->
   ?n_p0:int ->
   ?seed:int ->
+  ?justify:Pdf_core.Justify.kind ->
   Pdf_circuit.Circuit.t ->
   t
 (** Defaults: robust criterion, [n_p = 2000], [n_p0 = 200],
-    [Workload.default_seed].  The attached ledger is deterministic:
-    byte-identical across [--jobs] values and scalar/packed simulation
-    engines. *)
+    [Workload.default_seed], [justify] per {!Pdf_core.Justify.default_kind}.
+    The attached ledger is deterministic: byte-identical across [--jobs]
+    values and scalar/packed simulation engines (the portfolio backend
+    included — members race to completion and the winner is picked by
+    fixed priority). *)
 
 val explain : t -> string -> (string, string) result
 (** [explain t query] — a human-readable account of the matching

@@ -98,7 +98,7 @@ let check_fields fields allowed =
         raise (Bad (Printf.sprintf "unknown field %S" k)))
     fields
 
-let params_fields = [ "n_p"; "n_p0"; "seed"; "criterion" ]
+let params_fields = [ "n_p"; "n_p0"; "seed"; "criterion"; "justify" ]
 
 let get_params fields =
   let d = Session.default_params in
@@ -112,6 +112,14 @@ let get_params fields =
       | "nonrobust" | "non-robust" -> Pdf_faults.Robust.Non_robust
       | _ -> raise (Bad (Printf.sprintf "unknown criterion %S" s)))
   in
+  let justify =
+    match get_string fields "justify" with
+    | None -> Session.effective_default_justify ()
+    | Some s -> (
+      match Pdf_core.Justify.kind_of_name s with
+      | Some k -> k
+      | None -> raise (Bad (Printf.sprintf "unknown justify backend %S" s)))
+  in
   {
     Session.n_p =
       (match get_int fields "n_p" with
@@ -123,6 +131,7 @@ let get_params fields =
       | Some v -> pos "n_p0" v);
     seed = Option.value ~default:d.Session.seed (get_int fields "seed");
     criterion;
+    justify;
   }
 
 let build_request kind fields =

@@ -10,6 +10,7 @@ module Ordering = Pdf_core.Ordering
 module Coverage = Pdf_core.Coverage
 module Relax = Pdf_core.Relax
 module Test_pair = Pdf_core.Test_pair
+module Justify = Pdf_core.Justify
 module Profiles = Pdf_synth.Profiles
 module Provenance = Pdf_experiments.Provenance
 module Metrics = Pdf_obs.Metrics
@@ -34,6 +35,7 @@ type params = {
   n_p0 : int;
   seed : int;
   criterion : Pdf_faults.Robust.criterion;
+  justify : Justify.kind;
 }
 
 let default_params =
@@ -42,7 +44,19 @@ let default_params =
     n_p0 = 200;
     seed = Pdf_experiments.Workload.default_seed;
     criterion = Pdf_faults.Robust.Robust;
+    justify = Justify.Sim;
   }
+
+(* The server-wide default for requests that omit the "justify" field:
+   the serve CLI's [--justify] flag, else [PDF_JUSTIFY], else the
+   paper's simulation-based engine.  A ref so the flag can be applied
+   after module initialisation. *)
+let default_justify : Justify.kind option ref = ref None
+
+let set_default_justify k = default_justify := Some k
+
+let effective_default_justify () =
+  match !default_justify with Some k -> k | None -> Justify.default_kind ()
 
 type error = Unknown_circuit of string | No_match of string
 
@@ -91,7 +105,11 @@ let criterion_name = function
 let params_key p =
   Printf.sprintf "%s|%d|%d" (criterion_name p.criterion) p.n_p p.n_p0
 
-let params_seed_key p = Printf.sprintf "%s|%d" (params_key p) p.seed
+(* [justify] keys the seeded layers only: the analysis cache (target
+   sets, prepared faults) is backend-independent, while generation
+   answers and provenances are not. *)
+let params_seed_key p =
+  Printf.sprintf "%s|%d|%s" (params_key p) p.seed (Justify.kind_name p.justify)
 
 (* Circuit resolution, shared with the CLI: a profile name, else a
    netlist file (.v -> Verilog, anything else -> .bench).  Error
@@ -186,7 +204,8 @@ let provenance_of comp ~params =
     Metrics.incr c_enrichments;
     let p =
       Provenance.build ~criterion:params.criterion ~n_p:params.n_p
-        ~n_p0:params.n_p0 ~seed:params.seed comp.circuit
+        ~n_p0:params.n_p0 ~seed:params.seed ~justify:params.justify
+        comp.circuit
     in
     Hashtbl.add comp.provenances key p;
     p
@@ -267,7 +286,7 @@ let atpg ?ledger t ~circuit:name ~params ~ordering ~relax =
             let a = analysis ?ledger comp ~params in
             let faults0 = Lazy.force a.faults_p0 in
             let res =
-              Atpg.basic ?ledger c
+              Atpg.basic ?ledger ~justify:params.justify c
                 { Atpg.ordering; seed = params.seed }
                 ~faults:faults0
             in
@@ -303,7 +322,8 @@ let enrich ?ledger t ~circuit:name ~params ~coverage =
               List.init (Array.length faults - n0) (fun i -> n0 + i)
             in
             let res =
-              Atpg.enrich ?ledger c ~seed:params.seed ~faults ~p0 ~p1
+              Atpg.enrich ?ledger ~justify:params.justify c ~seed:params.seed
+                ~faults ~p0 ~p1
             in
             let b = Buffer.create 256 in
             Printf.bprintf b
@@ -319,7 +339,7 @@ let enrich ?ledger t ~circuit:name ~params ~coverage =
                 Array.of_list (List.map (fun i -> faults.(i)) p0)
               in
               let basic =
-                Atpg.basic c
+                Atpg.basic ~justify:params.justify c
                   { Atpg.ordering = Ordering.Value_based; seed = params.seed }
                   ~faults:faults0
               in

@@ -35,17 +35,30 @@ type t
 val create : unit -> t
 
 (** Query parameters shared by every analysis-backed query; mirrors the
-    CLI's [--n-p]/[--n-p0]/[--seed]/[--criterion] flags. *)
+    CLI's [--n-p]/[--n-p0]/[--seed]/[--criterion]/[--justify] flags. *)
 type params = {
   n_p : int;
   n_p0 : int;
   seed : int;
   criterion : Pdf_faults.Robust.criterion;
+  justify : Pdf_core.Justify.kind;
+      (** justification backend for the generation half of the query;
+          keys the answer and provenance caches (the analysis cache is
+          backend-independent) *)
 }
 
 val default_params : params
-(** [n_p = 2000], [n_p0 = 200], [Workload.default_seed], robust — the
-    CLI defaults. *)
+(** [n_p = 2000], [n_p0 = 200], [Workload.default_seed], robust,
+    simulation-based justification — the CLI defaults. *)
+
+val set_default_justify : Pdf_core.Justify.kind -> unit
+(** Set the server-wide default backend for requests that omit the
+    protocol's ["justify"] field (the serve CLI's [--justify] flag). *)
+
+val effective_default_justify : unit -> Pdf_core.Justify.kind
+(** The default {!set_default_justify} installed, else
+    {!Pdf_core.Justify.default_kind} (the [PDF_JUSTIFY] environment
+    variable, else [Sim]). *)
 
 (** Why a query could not be answered. *)
 type error =

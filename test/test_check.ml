@@ -25,6 +25,10 @@ let with_inc_injected_bug f =
   Wsim.set_inc_injected_bug true;
   Fun.protect ~finally:(fun () -> Wsim.set_inc_injected_bug false) f
 
+let with_podem_injected_bug f =
+  Pdf_core.Podem.set_injected_bug true;
+  Fun.protect ~finally:(fun () -> Pdf_core.Podem.set_injected_bug false) f
+
 (* A config small enough for CI smoke: a handful of rounds over the
    default grid, no reproducer files. *)
 let smoke_config =
@@ -263,6 +267,55 @@ let test_inc_mutation_caught_and_shrunk () =
       Alcotest.failf "shrunk reproducer fails without the injected bug: %s" m
     | Oracle.Skip m -> Alcotest.failf "reproducer skipped: %s" m)
 
+(* And for the structural justification engine: the deliberate PODEM
+   implication bug (a multi-input gate's second-pattern implication
+   reading its first fanin's first-pattern value) corrupts the engine's
+   view of the circuit self-consistently, so only independent
+   re-simulation of its answers — the justify-podem oracle's three-way
+   differential — can expose it.  This campaign restricts itself to
+   that oracle through the [oracles] filter, which doubles as the
+   filter's test. *)
+let test_podem_mutation_caught_and_shrunk () =
+  let summary =
+    with_podem_injected_bug (fun () ->
+        Fuzz.run
+          {
+            smoke_config with
+            Fuzz.rounds = 20;
+            max_violations = 1;
+            oracles = [ "justify-podem" ];
+          })
+  in
+  check Alcotest.bool "filtered campaign ran only one oracle per round" true
+    (summary.Fuzz.checks <= 20);
+  match summary.Fuzz.violations with
+  | [] -> Alcotest.fail "injected PODEM implication bug was not caught"
+  | v :: _ ->
+    check Alcotest.string "caught by the PODEM oracle" "justify-podem"
+      v.Fuzz.oracle;
+    check Alcotest.bool "shrunk to <= 30 gates" true
+      (Circuit.num_gates v.Fuzz.shrunk <= 30);
+    check Alcotest.bool "shrunk no larger than original" true
+      (Shrink.size v.Fuzz.shrunk <= Shrink.size v.Fuzz.circuit);
+    check Alcotest.(result unit string) "shrunk circuit valid" (Ok ())
+      (Circuit.validate v.Fuzz.shrunk);
+    let oracle = Option.get (Oracle.find "justify-podem") in
+    let ctx = { Oracle.circuit = v.Fuzz.shrunk; seed = v.Fuzz.oracle_seed } in
+    (match with_podem_injected_bug (fun () -> Oracle.run oracle ctx) with
+    | Oracle.Fail _ -> ()
+    | Oracle.Pass | Oracle.Skip _ ->
+      Alcotest.fail "shrunk reproducer no longer fails with the bug");
+    (match Oracle.run oracle ctx with
+    | Oracle.Pass -> ()
+    | Oracle.Fail m ->
+      Alcotest.failf "shrunk reproducer fails without the injected bug: %s" m
+    | Oracle.Skip m -> Alcotest.failf "reproducer skipped: %s" m)
+
+let test_fuzz_unknown_oracle_rejected () =
+  Alcotest.check_raises "unknown oracle name"
+    (Invalid_argument "Fuzz.run: unknown oracle \"nope\"") (fun () ->
+      ignore (Fuzz.run { smoke_config with Fuzz.oracles = [ "nope" ] }))
+
 let test_replay_rejects_garbage () =
   (match Fuzz.replay "/nonexistent/file.repro" with
   | Error _ -> ()
@@ -307,6 +360,10 @@ let () =
             test_mutation_caught_and_shrunk;
           Alcotest.test_case "inc mutation caught and shrunk" `Slow
             test_inc_mutation_caught_and_shrunk;
+          Alcotest.test_case "podem mutation caught and shrunk" `Slow
+            test_podem_mutation_caught_and_shrunk;
+          Alcotest.test_case "unknown oracle rejected" `Quick
+            test_fuzz_unknown_oracle_rejected;
           Alcotest.test_case "replay rejects garbage" `Quick
             test_replay_rejects_garbage;
         ] );

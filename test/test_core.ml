@@ -247,9 +247,11 @@ let test_ordering_goldens_s27 () =
     (fun (ordering, tests, detected, aborts, folded, accidental) ->
       let name = Ordering.name ordering in
       let l = Ledger.create () in
+      (* Pinned numbers are the simulation backend's; request it
+         explicitly so the goldens hold under any PDF_JUSTIFY. *)
       let res =
-        Atpg.basic ~ledger:l s27 { Atpg.ordering; seed = 9 }
-          ~faults:s27_faults
+        Atpg.basic ~ledger:l ~justify:Justify.Sim s27
+          { Atpg.ordering; seed = 9 } ~faults:s27_faults
       in
       let via v =
         List.length
@@ -261,7 +263,19 @@ let test_ordering_goldens_s27 () =
         (Fault_sim.count res.Atpg.detected);
       check Alcotest.int (name ^ " aborts") aborts res.Atpg.primary_aborts;
       check Alcotest.int (name ^ " folded secondaries") folded (via "folded");
-      check Alcotest.int (name ^ " accidental") accidental (via "accidental"))
+      check Alcotest.int (name ^ " accidental") accidental (via "accidental");
+      (* Default backend: every test record names the simulation engine
+         as its winner. *)
+      let test_records = Ledger.find l ~kind:"test" (fun _ -> true) in
+      check Alcotest.int (name ^ " test records") tests
+        (List.length test_records);
+      List.iter
+        (fun r ->
+          check
+            Alcotest.(option string)
+            (name ^ " engine field") (Some "sim")
+            (Ledger.get_string r "engine"))
+        test_records)
     goldens
 
 (* ------------------------------------------------------------------ *)
@@ -739,6 +753,257 @@ let test_bnb_complete_on_c17 () =
 
 
 
+(* ------------------------------------------------------------------ *)
+(* PODEM structural justification                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Podem = Pdf_core.Podem
+module Pool = Pdf_par.Pool
+module Generators = Pdf_synth.Generators
+
+let test_podem_s27_finds_all () =
+  let eng = Podem.create s27 in
+  Array.iter
+    (fun (p : Fault_sim.prepared) ->
+      match Podem.run eng ~reqs:p.Fault_sim.reqs with
+      | Podem.Found t ->
+        check Alcotest.bool "satisfies" true
+          (Test_pair.satisfies s27 t p.Fault_sim.reqs)
+      | Podem.Proved_unsatisfiable ->
+        Alcotest.failf "podem refuted a testable fault: %s"
+          (Fault.to_string s27 p.Fault_sim.fault)
+      | Podem.Gave_up -> Alcotest.fail "podem budget too small for s27")
+    s27_faults
+
+let test_podem_proves_unsatisfiable () =
+  let eng = Podem.create s27 in
+  let g8 = Option.get (Circuit.find_net s27 "G8") in
+  let g0 = Option.get (Circuit.find_net s27 "G0") in
+  check Alcotest.bool "direct conflict" true
+    (Podem.run eng ~reqs:[ (0, Req.rising); (0, Req.falling) ]
+    = Podem.Proved_unsatisfiable);
+  check Alcotest.bool "internal contradiction" true
+    (Podem.run eng ~reqs:[ (g8, Req.stable true); (g0, Req.stable true) ]
+    = Podem.Proved_unsatisfiable)
+
+let test_podem_deterministic () =
+  let show eng (p : Fault_sim.prepared) =
+    match Podem.run eng ~reqs:p.Fault_sim.reqs with
+    | Podem.Found t -> Test_pair.to_string t
+    | Podem.Proved_unsatisfiable -> "unsat"
+    | Podem.Gave_up -> "gave-up"
+  in
+  let a = Podem.create s27 and b = Podem.create s27 in
+  Array.iter
+    (fun p -> check Alcotest.string "same result" (show a p) (show b p))
+    s27_faults
+
+(* Drive a bounded PODEM search by hand through the exposed internals,
+   asserting the search-state invariants at every step:
+
+   - the frontier of unsatisfied requirement components is non-empty
+     whenever the requirements are unmet and no conflict is implied
+     (and empty exactly when they are satisfied);
+   - every backtrace lands on an unassigned pattern bit of a cone PI;
+   - implication is monotone: a definite implied value never changes
+     when a further assignment is added;
+   - unassigning the bit and re-implying restores the exact state
+     (the engine's backtracking is a true undo). *)
+let prop_podem_search_invariants =
+  QCheck.Test.make ~name:"PODEM internals: search-state invariants"
+    ~count:40
+    (QCheck.make (QCheck.Gen.int_range 0 100_000))
+    (fun seed ->
+      let params =
+        { Pdf_synth.Generators.num_pis = 6; num_gates = 25; window = 15;
+          max_fanout = 3; reuse_pct = 5; restart_pct = 0; fanin3_pct = 10;
+          inverter_pct = 25; po_taps = 1 }
+      in
+      let c = Generators.random_dag ~name:"rand" ~seed params in
+      let model = Delay_model.lines c in
+      let ts = Target_sets.build c model ~n_p:12 ~n_p0:4 in
+      let faults = Fault_sim.prepare c ts.Target_sets.p in
+      let eng = Podem.create c in
+      let module I = Podem.Internal in
+      let failure = ref None in
+      let fail msg = if !failure = None then failure := Some msg in
+      let check_fault (p : Fault_sim.prepared) =
+        match I.prepare eng ~reqs:p.Fault_sim.reqs with
+        | None -> () (* directly conflicting requirement set *)
+        | Some st ->
+          let continue_ = ref true in
+          let steps = ref 0 in
+          while !failure = None && !continue_ && !steps < 60 do
+            incr steps;
+            if I.conflict st <> None then continue_ := false
+            else if I.satisfied st then begin
+              if I.frontier st <> [] then
+                fail "satisfied state has a non-empty frontier";
+              continue_ := false
+            end
+            else begin
+              if I.frontier st = [] then
+                fail "unmet requirements with an empty frontier";
+              match I.objective st with
+              | None ->
+                fail "no objective despite unmet requirements";
+                continue_ := false
+              | Some obj -> (
+                match I.backtrace st obj with
+                | None -> continue_ := false (* frozen objective: refuted *)
+                | Some (pi, j, v) ->
+                  if not (Array.exists (Int.equal pi) (I.cone_pis st)) then
+                    fail "backtrace left the requirement cone";
+                  if j <> 1 && j <> 3 then fail "bad pattern index";
+                  let before = I.snapshot st in
+                  let pos = if j = 1 then pi else c.Circuit.num_pis + 1 + pi in
+                  if before.[pos] <> 'x' then
+                    fail "backtrace targeted an assigned bit";
+                  I.assign st (pi, j, v);
+                  I.imply st;
+                  let after = I.snapshot st in
+                  let bar = String.index before '|' in
+                  String.iteri
+                    (fun i ch ->
+                      if i > bar && (ch = '0' || ch = '1') && after.[i] <> ch
+                      then fail "definite implied value changed under refinement")
+                    before;
+                  I.unassign st (pi, j);
+                  I.imply st;
+                  if not (String.equal (I.snapshot st) before) then
+                    fail "unassign + imply did not restore the state";
+                  (* re-apply the decision and keep searching *)
+                  I.assign st (pi, j, v);
+                  I.imply st)
+            end
+          done
+      in
+      Array.iter check_fault faults;
+      match !failure with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level goldens: sim / podem / portfolio                        *)
+(* ------------------------------------------------------------------ *)
+
+let enrich_with c ~seed kind ~n_p ~n_p0 =
+  let model = Delay_model.lines c in
+  let ts = Target_sets.build c model ~n_p ~n_p0 in
+  let faults = Fault_sim.prepare c ts.Target_sets.p in
+  let n0 = min (List.length ts.Target_sets.p0) (Array.length faults) in
+  let p0 = List.init n0 Fun.id in
+  let p1 = List.init (Array.length faults - n0) (fun i -> n0 + i) in
+  Atpg.enrich c ~seed ~justify:kind ~faults ~p0 ~p1
+
+(* Fixed-seed circuits drawn from the fuzz harness's deep and reconv
+   grids (lib/check/fuzz.ml) where the simulation-based search aborts:
+   deep logic stacks up side-input stability conditions, reconvergent
+   fanout correlates them.  Golden values pin the exact behaviour of
+   each backend; the structural engine must strictly reduce the aborted
+   fault count on both — that is the point of having it. *)
+let fuzz_base =
+  { Pdf_synth.Generators.num_pis = 6; num_gates = 30; window = 12;
+    max_fanout = 3; reuse_pct = 10; restart_pct = 10; fanin3_pct = 20;
+    inverter_pct = 25; po_taps = 1 }
+
+let deep_circuit =
+  Generators.random_dag ~name:"deep7" ~seed:7
+    { fuzz_base with Generators.window = 5; restart_pct = 5 }
+
+let reconv_circuit =
+  Generators.random_dag ~name:"reconv2" ~seed:2
+    { fuzz_base with Generators.reuse_pct = 30; max_fanout = 4 }
+
+let test_engine_goldens () =
+  let goldens =
+    [
+      (* circuit, kind, (tests, detected, aborted primaries) *)
+      ("s27", s27, 40, 10, [ (Justify.Sim, (7, 32, 0));
+                             (Justify.Podem, (7, 32, 0));
+                             (Justify.Portfolio, (7, 32, 0)) ]);
+      ("deep", deep_circuit, 240, 40,
+       [ (Justify.Sim, (16, 51, 5));
+         (Justify.Podem, (17, 55, 3));
+         (Justify.Portfolio, (17, 55, 3)) ]);
+      ("reconv", reconv_circuit, 240, 40,
+       [ (Justify.Sim, (11, 38, 3));
+         (Justify.Podem, (13, 40, 1));
+         (Justify.Portfolio, (13, 40, 1)) ]);
+    ]
+  in
+  List.iter
+    (fun (cname, c, n_p, n_p0, expected) ->
+      let sim_aborts = ref 0 in
+      List.iter
+        (fun (kind, (tests, detected, aborts)) ->
+          let label = cname ^ "/" ^ Justify.kind_name kind in
+          let res = enrich_with c ~seed:9 kind ~n_p ~n_p0 in
+          check Alcotest.int (label ^ " tests") tests
+            (List.length res.Atpg.tests);
+          check Alcotest.int (label ^ " detected") detected
+            (Fault_sim.count res.Atpg.detected);
+          check Alcotest.int (label ^ " aborts") aborts res.Atpg.primary_aborts;
+          if kind = Justify.Sim then sim_aborts := res.Atpg.primary_aborts
+          else if cname <> "s27" then
+            (* the acceptance claim: structural search strictly reduces
+               aborted faults on the hard profiles *)
+            check Alcotest.bool (label ^ " fewer aborts than sim") true
+              (res.Atpg.primary_aborts < !sim_aborts))
+        expected)
+    goldens
+
+let test_portfolio_ledger_jobs_invariant () =
+  (* The portfolio races members across the pool, yet the ledger must be
+     byte-identical whatever the job count (DESIGN.md §15): members run
+     to completion and the winner is picked by fixed priority. *)
+  let saved = Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) @@ fun () ->
+  let run jobs =
+    Pool.set_default_jobs jobs;
+    let l = Ledger.create () in
+    ignore
+      (Atpg.enrich ~ledger:l ~justify:Justify.Portfolio s27 ~seed:9
+         ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1);
+    Ledger.to_jsonl l
+  in
+  let one = run 1 in
+  let four = run 4 in
+  check Alcotest.bool "ledger bytes identical at --jobs 1 vs 4" true
+    (String.equal one four);
+  check Alcotest.bool "ledger non-trivial" true (String.length one > 100)
+
+let test_engine_records_name_winner () =
+  (* Every test and detected-fault record carries the winning member's
+     label; under the pure backends that is the backend's own name. *)
+  List.iter
+    (fun (kind, allowed) ->
+      let l = Ledger.create () in
+      ignore
+        (Atpg.enrich ~ledger:l ~justify:kind s27 ~seed:9 ~faults:s27_faults
+           ~p0:s27_p0 ~p1:s27_p1);
+      let engines =
+        Ledger.find l ~kind:"test" (fun _ -> true)
+        |> List.filter_map (fun r -> Ledger.get_string r "engine")
+      in
+      check Alcotest.bool
+        (Justify.kind_name kind ^ " test records name an engine")
+        true
+        (engines <> [] && List.for_all (fun e -> List.mem e allowed) engines);
+      let run_records =
+        Ledger.find l ~kind:"run" (fun r ->
+            Ledger.get_string r "justify" = Some (Justify.kind_name kind))
+      in
+      check Alcotest.int
+        (Justify.kind_name kind ^ " run record names the backend")
+        1
+        (List.length run_records))
+    [
+      (Justify.Sim, [ "sim" ]);
+      (Justify.Podem, [ "podem" ]);
+      (Justify.Portfolio, [ "podem"; "sim"; "sim-r1"; "sim-r2" ]);
+    ]
+
 (* Cross-validation of the conservative hazard algebra against the
    event-driven ground truth: a definite middle value in the two-pattern
    simulation guarantees a hazard-free line in the timing waveform. *)
@@ -834,8 +1099,13 @@ let test_relax_empty_keep () =
 
 module Diagnose = Pdf_core.Diagnose
 
+(* Fixed test set for the diagnosis goldens: the simulation backend,
+   explicitly, so the end-to-end expectations hold under any
+   PDF_JUSTIFY. *)
 let s27_enriched_tests =
-  (Atpg.enrich s27 ~seed:9 ~faults:s27_faults ~p0:s27_p0 ~p1:s27_p1).Atpg.tests
+  (Atpg.enrich s27 ~seed:9 ~justify:Justify.Sim ~faults:s27_faults ~p0:s27_p0
+     ~p1:s27_p1)
+    .Atpg.tests
 
 let test_diagnose_dictionary_shape () =
   let d = Diagnose.dictionary s27 s27_enriched_tests s27_faults in
@@ -1024,6 +1294,23 @@ let () =
             test_bnb_at_least_as_strong_as_sim;
           Alcotest.test_case "complete on c17 (vs brute force)" `Slow
             test_bnb_complete_on_c17;
+        ] );
+      ( "podem",
+        [
+          Alcotest.test_case "finds every s27 fault" `Quick
+            test_podem_s27_finds_all;
+          Alcotest.test_case "proves unsatisfiable" `Quick
+            test_podem_proves_unsatisfiable;
+          Alcotest.test_case "deterministic" `Quick test_podem_deterministic;
+          qcheck prop_podem_search_invariants;
+        ] );
+      ( "justify_engine",
+        [
+          Alcotest.test_case "per-backend goldens" `Slow test_engine_goldens;
+          Alcotest.test_case "portfolio ledger jobs-invariant" `Quick
+            test_portfolio_ledger_jobs_invariant;
+          Alcotest.test_case "records name the winner" `Quick
+            test_engine_records_name_winner;
         ] );
       ( "timing",
         [

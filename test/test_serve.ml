@@ -12,8 +12,13 @@ module J = Pdf_obs.Json_text
 
 let check = Alcotest.check
 
+(* Requests below carry no "justify" field, so the server resolves the
+   backend via [effective_default_justify] (PDF_JUSTIFY under the CI
+   matrix); the reference session must resolve it the same way for the
+   byte-diff contract to be meaningful. *)
 let params =
-  { Session.default_params with Session.n_p = 200; n_p0 = 50; seed = 7 }
+  { Session.default_params with Session.n_p = 200; n_p0 = 50; seed = 7;
+    justify = Session.effective_default_justify () }
 
 let ok = function
   | Ok (a : Session.answer) -> a
